@@ -1,0 +1,188 @@
+// Command proteus-sim runs one inference-serving simulation from a JSON
+// configuration file, mirroring the paper artifact's config-driven workflow
+// (model_allocation and batching take the artifact's values: ilp,
+// infaas_v2, sommelier, clipper-ht/-ha; accscale, aimd, nexus, static-N).
+//
+// Example config:
+//
+//	{
+//	  "model_allocation": "ilp",
+//	  "batching": "accscale",
+//	  "cluster_size": 20,
+//	  "slo_multiplier": 2,
+//	  "seed": 1,
+//	  "trace": {"kind": "twitter", "seconds": 300, "base_qps": 180, "peak_qps": 560}
+//	}
+//
+// A trace may also come from a CSV file written by proteus-traces:
+//
+//	"trace": {"kind": "csv", "path": "trace.csv"}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"proteus"
+	"proteus/internal/trace"
+)
+
+type config struct {
+	ModelAllocation string      `json:"model_allocation"`
+	Batching        string      `json:"batching"`
+	ClusterSize     int         `json:"cluster_size"`
+	SLOMultiplier   float64     `json:"slo_multiplier"`
+	Seed            uint64      `json:"seed"`
+	SolverBudgetMS  int         `json:"solver_budget_ms"`
+	Trace           traceConfig `json:"trace"`
+}
+
+type traceConfig struct {
+	Kind    string  `json:"kind"` // twitter, bursty, csv
+	Seconds int     `json:"seconds"`
+	BaseQPS float64 `json:"base_qps"`
+	PeakQPS float64 `json:"peak_qps"`
+	Path    string  `json:"path"`
+	Seed    uint64  `json:"seed"`
+}
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "path to the JSON experiment config (required)")
+		seriesOut  = flag.String("series", "", "optional CSV path for the run's time series")
+	)
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "proteus-sim: -config is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *configPath, err))
+	}
+	applyDefaults(&cfg)
+
+	tr, err := buildTrace(cfg.Trace)
+	if err != nil {
+		fatal(err)
+	}
+	alloc, err := proteus.NewAllocator(cfg.ModelAllocation, &proteus.MILPOptions{
+		TimeLimit: time.Duration(cfg.SolverBudgetMS) * time.Millisecond,
+		RelGap:    0.005,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	batch, err := proteus.NewBatching(cfg.Batching)
+	if err != nil {
+		fatal(err)
+	}
+	// The system's family set follows the trace's columns (a CSV trace may
+	// cover a subset of the zoo).
+	var fams []proteus.Family
+	for _, name := range tr.Families {
+		found := false
+		for _, f := range proteus.Zoo() {
+			if f.Name == name {
+				fams = append(fams, f)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("trace family %q is not in the model zoo", name))
+		}
+	}
+	sys, err := proteus.NewSystem(proteus.SystemConfig{
+		Cluster:       proteus.ScaledTestbed(cfg.ClusterSize),
+		Families:      fams,
+		SLOMultiplier: cfg.SLOMultiplier,
+		Allocator:     alloc,
+		Batching:      batch,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := sys.Run(tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("allocation=%s batching=%s cluster=%d trace=%s (%ds, peak %.0f QPS)\n",
+		cfg.ModelAllocation, cfg.Batching, cfg.ClusterSize, cfg.Trace.Kind, tr.Seconds(), tr.PeakQPS())
+	fmt.Printf("simulated in %v (wall)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(res.Summary)
+	fmt.Printf("re-allocations=%d model-loads=%d\n", len(res.Plans), res.ModelLoads)
+	for q, s := range res.PerFamily {
+		fmt.Printf("  %-14s tput=%.1fqps acc=%.2f%% violations=%.4f\n",
+			tr.Families[q], s.AvgThroughput, s.EffectiveAccuracy, s.ViolationRatio)
+	}
+
+	if *seriesOut != "" {
+		f, err := os.Create(*seriesOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := proteus.RenderSeriesCSV(f, cfg.ModelAllocation, res.Collector.Series(-1)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *seriesOut)
+	}
+}
+
+func applyDefaults(cfg *config) {
+	if cfg.ModelAllocation == "" {
+		cfg.ModelAllocation = "ilp"
+	}
+	if cfg.Batching == "" {
+		cfg.Batching = "accscale"
+	}
+	if cfg.ClusterSize <= 0 {
+		cfg.ClusterSize = 20
+	}
+	if cfg.SLOMultiplier <= 0 {
+		cfg.SLOMultiplier = 2
+	}
+	if cfg.SolverBudgetMS <= 0 {
+		cfg.SolverBudgetMS = 500
+	}
+	if cfg.Trace.Kind == "" {
+		cfg.Trace.Kind = "twitter"
+	}
+}
+
+func buildTrace(tc traceConfig) (*proteus.Trace, error) {
+	switch tc.Kind {
+	case "twitter":
+		return proteus.NewTwitterTrace(proteus.TwitterTraceConfig{
+			Seconds: tc.Seconds, BaseQPS: tc.BaseQPS, PeakQPS: tc.PeakQPS, Seed: tc.Seed,
+		}), nil
+	case "bursty":
+		return proteus.NewBurstyTrace(proteus.BurstyTraceConfig{
+			Seconds: tc.Seconds, LowQPS: tc.BaseQPS, HighQPS: tc.PeakQPS,
+		}), nil
+	case "csv":
+		f, err := os.Open(tc.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadCSV(f)
+	}
+	return nil, fmt.Errorf("proteus-sim: unknown trace kind %q", tc.Kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "proteus-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"proteus"
+)
+
+func TestApplyDefaults(t *testing.T) {
+	var cfg config
+	applyDefaults(&cfg)
+	if cfg.ModelAllocation != "ilp" || cfg.Batching != "accscale" ||
+		cfg.ClusterSize != 20 || cfg.SLOMultiplier != 2 || cfg.Trace.Kind != "twitter" {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	cfg2 := config{ModelAllocation: "sommelier", ClusterSize: 8}
+	applyDefaults(&cfg2)
+	if cfg2.ModelAllocation != "sommelier" || cfg2.ClusterSize != 8 {
+		t.Fatalf("overrides clobbered: %+v", cfg2)
+	}
+}
+
+func TestBuildTraceKinds(t *testing.T) {
+	tw, err := buildTrace(traceConfig{Kind: "twitter", Seconds: 30})
+	if err != nil || tw.Seconds() != 30 {
+		t.Fatalf("twitter: %v %d", err, tw.Seconds())
+	}
+	bt, err := buildTrace(traceConfig{Kind: "bursty", Seconds: 40})
+	if err != nil || bt.Seconds() != 40 {
+		t.Fatalf("bursty: %v", err)
+	}
+	if _, err := buildTrace(traceConfig{Kind: "nope"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildTraceCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	src := proteus.NewTwitterTrace(proteus.TwitterTraceConfig{Seconds: 10})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := buildTrace(traceConfig{Kind: "csv", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seconds() != 10 || len(got.Families) != 9 {
+		t.Fatalf("csv trace: %d s, %d families", got.Seconds(), len(got.Families))
+	}
+	if _, err := buildTrace(traceConfig{Kind: "csv", Path: filepath.Join(dir, "missing.csv")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command proteusd starts the live Proteus serving cluster: goroutine
+// workers standing in for the paper's 40 machines, the MILP resource
+// manager re-allocating in the background, and an HTTP API:
+//
+//	POST /v1/query?family=resnet   serve one inference query
+//	GET  /v1/stats                 run metrics so far
+//	GET  /v1/allocation            current device → variant plan
+//	GET  /v1/families              registered applications
+//
+// With -drive it also generates client load against itself for the given
+// duration and prints the resulting summary, exercising the full data path
+// end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"proteus"
+	"proteus/internal/numeric"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		clusterSz = flag.Int("cluster", 8, "cluster size (2:1:1 CPU:1080Ti:V100)")
+		allocName = flag.String("allocation", "ilp", "resource allocator (ilp, infaas_v2, sommelier, clipper-ht, clipper-ha)")
+		batchName = flag.String("batching", "accscale", "batching policy (accscale, nexus, aimd, static-N)")
+		period    = flag.Duration("period", 10*time.Second, "re-allocation period")
+		drive     = flag.Duration("drive", 0, "self-drive duration (0 = serve forever)")
+		driveQPS  = flag.Float64("drive-qps", 100, "total QPS during self-drive")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	alloc, err := proteus.NewAllocator(*allocName, nil)
+	if err != nil {
+		fatal(err)
+	}
+	batch, err := proteus.NewBatching(*batchName)
+	if err != nil {
+		fatal(err)
+	}
+	fams := proteus.Zoo()
+	names := proteus.FamilyNames(fams)
+	z := numeric.NewZipf(len(fams), 1.001)
+	initial := make([]float64, len(fams))
+	for q := range initial {
+		initial[q] = *driveQPS * z.P(q)
+	}
+	srv, err := proteus.NewLiveServer(proteus.LiveConfig{
+		Cluster:       proteus.ScaledTestbed(*clusterSz),
+		Families:      fams,
+		Allocator:     alloc,
+		Batching:      batch,
+		ControlPeriod: *period,
+		InitialDemand: initial,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	if *drive > 0 {
+		fmt.Printf("self-driving %v at %.0f QPS across %d families...\n", *drive, *driveQPS, len(fams))
+		driveLoad(srv, names, *driveQPS, *drive, *seed)
+		s := srv.Summary()
+		fmt.Println(s)
+		fmt.Println("per-device allocation:")
+		printAllocation(srv)
+		return
+	}
+
+	fmt.Printf("proteusd: serving %d families on %d devices at %s (allocation=%s batching=%s)\n",
+		len(fams), *clusterSz, *addr, *allocName, *batchName)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// driveLoad fires Poisson traffic at the server's internal API.
+func driveLoad(srv *proteus.LiveServer, families []string, qps float64, d time.Duration, seed uint64) {
+	rng := numeric.NewRNG(seed + 99)
+	z := numeric.NewZipf(len(families), 1.001)
+	var wg sync.WaitGroup
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+		gap := rng.Exp(qps)
+		time.Sleep(time.Duration(gap * float64(time.Second)))
+		fam := families[z.Sample(rng)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Infer(fam)
+		}()
+	}
+	wg.Wait()
+}
+
+func printAllocation(srv *proteus.LiveServer) {
+	alloc := srv.Allocation()
+	devices := make([]string, 0, len(alloc))
+	for d := range alloc {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	for _, d := range devices {
+		v := alloc[d]
+		if v == "" {
+			v = "(idle)"
+		}
+		fmt.Printf("  %-14s %s\n", d, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "proteusd: %v\n", err)
+	os.Exit(1)
+}

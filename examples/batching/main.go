@@ -1,0 +1,36 @@
+// Batching: the §6.4 scenario in isolation — the same offered load with
+// uniform, Poisson, and heavy-tailed Gamma inter-arrivals, served under
+// Proteus's adaptive batching and under the Clipper (AIMD) and Nexus
+// baselines. Resource allocation is identical in every cell, so the SLO
+// violation differences come from batching alone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"proteus"
+)
+
+func main() {
+	points, err := proteus.Fig6(proteus.ExperimentOptions{
+		ClusterSize:  20,
+		TraceSeconds: 120,
+		BaseQPS:      150,
+		Seed:         5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := proteus.RenderFig6(os.Stdout, points); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("On uniform arrivals every policy does fine: the right batch size is")
+	fmt.Println("constant. Under Poisson and especially Gamma(0.05) arrivals, Proteus's")
+	fmt.Println("proactive, non-work-conserving batching accumulates bursts into full")
+	fmt.Println("batches and never lets the queue head expire, while Nexus's rate-planned")
+	fmt.Println("fixed batches lag the fluctuations and Clipper's AIMD reacts only after")
+	fmt.Println("timeouts have already happened (§6.4).")
+}

@@ -1,0 +1,3 @@
+module proteus
+
+go 1.22

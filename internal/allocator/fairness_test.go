@@ -1,0 +1,109 @@
+package allocator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"proteus/internal/cluster"
+	"proteus/internal/models"
+	"proteus/internal/profiles"
+)
+
+// fairnessInput builds a contended instance where the system-level optimum
+// starves a low-weight family's accuracy: two families, heavily skewed
+// demand, a small cluster.
+func fairnessInput(t *testing.T) *Input {
+	t.Helper()
+	var fams []models.Family
+	for _, f := range models.Zoo() {
+		if f.Name == "efficientnet" || f.Name == "resnest" {
+			fams = append(fams, f)
+		}
+	}
+	if len(fams) != 2 {
+		t.Fatal("fixture families missing")
+	}
+	slos := make([]time.Duration, len(fams))
+	for q, f := range fams {
+		slos[q] = profiles.FamilySLO(f, 2)
+	}
+	return &Input{
+		Cluster:  cluster.ScaledTestbed(8),
+		Families: fams,
+		SLOs:     slos,
+		Demand:   []float64{60, 300}, // efficientnet light, resnest heavy
+	}
+}
+
+func minFamilyAccuracy(in *Input, a *Allocation) float64 {
+	m := math.Inf(1)
+	for q := range in.Families {
+		if acc := a.FamilyAccuracy(in, q); acc > 0 && acc < m {
+			m = acc
+		}
+	}
+	return m
+}
+
+func TestFairnessRaisesMinFamilyAccuracy(t *testing.T) {
+	opts := &MILPOptions{TimeLimit: time.Second, RelGap: 0.005, StallNodes: 1000}
+	plain, err := ByName("ilp", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := ByName("ilp-fair", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inP := fairnessInput(t)
+	planP, err := plain.Allocate(inP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inF := fairnessInput(t)
+	planF, err := fair.Allocate(inF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := planF.Check(inF); err != nil {
+		t.Fatal(err)
+	}
+	minP := minFamilyAccuracy(inP, planP)
+	minF := minFamilyAccuracy(inF, planF)
+	if minF+1e-9 < minP {
+		t.Fatalf("fairness lowered the min family accuracy: %.3f -> %.3f", minP, minF)
+	}
+	// The §7 trade-off: fairness cannot increase total effective accuracy.
+	if planF.EffectiveAccuracy(inF) > planP.EffectiveAccuracy(inP)+0.5 {
+		t.Fatalf("fairness improved total accuracy (%.3f > %.3f): objective wiring suspect",
+			planF.EffectiveAccuracy(inF), planP.EffectiveAccuracy(inP))
+	}
+}
+
+func TestFairnessAllocatorName(t *testing.T) {
+	a, err := ByName("ilp-fair", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Dynamic() {
+		t.Fatal("fairness allocator must be dynamic")
+	}
+	if !a.Features().AccuracyScaling {
+		t.Fatal("fairness allocator must scale accuracy")
+	}
+}
+
+func TestFamilyAccuracyHelper(t *testing.T) {
+	in := fairnessInput(t)
+	plan, err := NewMILP(&MILPOptions{TimeLimit: 500 * time.Millisecond, RelGap: 0.01}).Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range in.Families {
+		acc := plan.FamilyAccuracy(in, q)
+		if acc < 80 || acc > 100 {
+			t.Fatalf("family %d accuracy %v out of range", q, acc)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package allocator
+
+import (
+	"sort"
+	"time"
+)
+
+// InfaasAccuracy is the INFaaS-Accuracy baseline (§6.1.1): INFaaS's greedy
+// model-selection/placement heuristic with the objective and constraint
+// swapped so it minimizes accuracy drop under the fixed cluster budget
+// ("infaas_v2" in the artifact configs). It is dynamic — it re-runs on
+// demand changes — but, being greedy, it gets stuck in local optima the
+// MILP avoids (§6.2).
+//
+// The heuristic, per family in descending-demand order: repeatedly commit
+// the most accurate (device, variant) pair whose peak throughput covers the
+// family's remaining demand; if no single pair covers it, commit the pair
+// with the highest peak to close the gap fastest. Leftover devices are then
+// used to upgrade the family with the largest demand-weighted accuracy
+// deficit.
+type InfaasAccuracy struct{}
+
+// NewInfaasAccuracy returns the INFaaS-Accuracy baseline allocator.
+func NewInfaasAccuracy() *InfaasAccuracy { return &InfaasAccuracy{} }
+
+// Name implements Allocator.
+func (*InfaasAccuracy) Name() string { return "infaas_v2" }
+
+// Dynamic implements Allocator.
+func (*InfaasAccuracy) Dynamic() bool { return true }
+
+// Features implements Allocator.
+func (*InfaasAccuracy) Features() Features {
+	return Features{DynamicPlacement: true, DynamicSelection: true, AccuracyScaling: true, Method: "Heuristic"}
+}
+
+// Allocate implements Allocator.
+func (g *InfaasAccuracy) Allocate(in *Input) (*Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	alloc := NewAllocation(in)
+	refs := in.Variants()
+
+	free := make(map[int]bool, in.Cluster.Size())
+	for _, d := range in.Cluster.Devices() {
+		free[d.ID] = true
+	}
+
+	// Families by descending demand; ties by index for determinism.
+	order := make([]int, len(in.Families))
+	for q := range order {
+		order[q] = q
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return in.Demand[order[i]] > in.Demand[order[j]]
+	})
+
+	capacity := make([]float64, len(in.Families)) // provisioned QPS per family
+	for _, q := range order {
+		remaining := in.Demand[q]
+		for remaining > 1e-9 {
+			d, r := g.bestPair(in, refs, free, q, remaining)
+			if d < 0 {
+				break // no devices or no feasible variant left
+			}
+			ref := refs[r]
+			alloc.Hosted[d] = &VariantRef{Family: ref.Family, Variant: ref.Variant}
+			free[d] = false
+			p := in.Peak(in.Cluster.Device(d), ref)
+			capacity[q] += p
+			remaining -= p
+		}
+	}
+
+	// Upgrade pass: spend leftover devices on the family with the largest
+	// demand-weighted accuracy deficit, hosting its most accurate feasible
+	// variant on each.
+	for {
+		d := -1
+		for _, dev := range in.Cluster.Devices() {
+			if free[dev.ID] {
+				d = dev.ID
+				break
+			}
+		}
+		if d < 0 {
+			break
+		}
+		q := g.neediestFamily(in, alloc, capacity)
+		r := g.mostAccurateFeasible(in, refs, d, q)
+		if r < 0 {
+			free[d] = false // nothing fits this device at all
+			continue
+		}
+		ref := refs[r]
+		alloc.Hosted[d] = &VariantRef{Family: ref.Family, Variant: ref.Variant}
+		capacity[q] += in.Peak(in.Cluster.Device(d), ref)
+		free[d] = false
+	}
+
+	fillRoutingByAccuracy(in, alloc)
+	alloc.PredictedAccuracy = alloc.EffectiveAccuracy(in)
+	alloc.SolveTime = time.Since(start)
+	return alloc, nil
+}
+
+// bestPair picks the greedy (device, variantRef) choice for family q.
+func (g *InfaasAccuracy) bestPair(in *Input, refs []VariantRef, free map[int]bool, q int, remaining float64) (int, int) {
+	bestD, bestR := -1, -1
+	bestCovers := false
+	var bestAcc, bestPeak float64
+	for _, dev := range in.Cluster.Devices() {
+		if !free[dev.ID] {
+			continue
+		}
+		for r, ref := range refs {
+			if ref.Family != q {
+				continue
+			}
+			p := in.Peak(dev, ref)
+			if p <= 0 {
+				continue
+			}
+			covers := p >= remaining
+			better := false
+			switch {
+			case covers && !bestCovers:
+				better = true
+			case covers == bestCovers && covers:
+				// Most accurate pair that covers; break ties with the
+				// smaller peak to avoid wasting fast devices.
+				better = ref.Variant.Accuracy > bestAcc ||
+					(ref.Variant.Accuracy == bestAcc && p < bestPeak)
+			case covers == bestCovers && !covers:
+				// Nothing covers: chase throughput, then accuracy.
+				better = p > bestPeak ||
+					(p == bestPeak && ref.Variant.Accuracy > bestAcc)
+			}
+			if better {
+				bestD, bestR = dev.ID, r
+				bestCovers, bestAcc, bestPeak = covers, ref.Variant.Accuracy, p
+			}
+		}
+	}
+	return bestD, bestR
+}
+
+// neediestFamily returns the family with the largest demand-weighted
+// accuracy deficit in the current plan.
+func (g *InfaasAccuracy) neediestFamily(in *Input, alloc *Allocation, capacity []float64) int {
+	best, bestScore := 0, -1.0
+	for q := range in.Families {
+		top := in.Families[q].MostAccurate().Accuracy
+		// Current capacity-weighted accuracy for the family.
+		num, den := 0.0, 0.0
+		for d, ref := range alloc.Hosted {
+			if ref == nil || ref.Family != q {
+				continue
+			}
+			p := in.Peak(in.Cluster.Device(d), *ref)
+			num += p * ref.Variant.Accuracy
+			den += p
+		}
+		deficit := top
+		if den > 0 {
+			deficit = top - num/den
+		}
+		score := deficit * (in.Demand[q] + 1)
+		if capacity[q] < in.Demand[q] {
+			// Families still under-provisioned take absolute priority.
+			score += 1e9 * (in.Demand[q] - capacity[q])
+		}
+		if score > bestScore {
+			best, bestScore = q, score
+		}
+	}
+	return best
+}
+
+func (g *InfaasAccuracy) mostAccurateFeasible(in *Input, refs []VariantRef, d, q int) int {
+	dev := in.Cluster.Device(d)
+	best, bestAcc := -1, -1.0
+	for r, ref := range refs {
+		if ref.Family != q {
+			continue
+		}
+		if in.Peak(dev, ref) <= 0 {
+			continue
+		}
+		if ref.Variant.Accuracy > bestAcc {
+			best, bestAcc = r, ref.Variant.Accuracy
+		}
+	}
+	return best
+}
+
+// fillRoutingByAccuracy computes the query assignment for a fixed placement
+// by filling the most accurate hosting devices to capacity first. Routing
+// rows sum to min(1, capacity/demand); ServedQPS records the provisioned
+// rate.
+func fillRoutingByAccuracy(in *Input, alloc *Allocation) {
+	for q := range in.Families {
+		type host struct {
+			d    int
+			acc  float64
+			peak float64
+		}
+		var hosts []host
+		for d, ref := range alloc.Hosted {
+			if ref == nil || ref.Family != q {
+				continue
+			}
+			hosts = append(hosts, host{d: d, acc: ref.Variant.Accuracy, peak: in.Peak(in.Cluster.Device(d), *ref)})
+		}
+		sort.SliceStable(hosts, func(i, j int) bool { return hosts[i].acc > hosts[j].acc })
+		demand := in.Demand[q]
+		if demand <= 0 {
+			// No demand: spread nominal zero routing; leave row empty.
+			alloc.ServedQPS[q] = 0
+			continue
+		}
+		remaining := demand
+		served := 0.0
+		for _, h := range hosts {
+			if remaining <= 0 {
+				break
+			}
+			take := h.peak
+			if take > remaining {
+				take = remaining
+			}
+			alloc.Routing[q][h.d] = take / demand
+			served += take
+			remaining -= take
+		}
+		alloc.ServedQPS[q] = served
+	}
+}

@@ -1,0 +1,205 @@
+package allocator
+
+import (
+	"math"
+	"sort"
+)
+
+// searchSpace is the aggregated neighbourhood the local search explores:
+// device counts per (group, variant) pair with accuracy-first demand
+// filling. It is used to produce high-quality warm starts for the MILP and
+// to polish incumbents the branch-and-bound returns under a time limit.
+type searchSpace struct {
+	pairs  []aggPair
+	refs   []VariantRef
+	demand []float64
+	// prev[i] is the previous plan's device count for pair i and switchCost
+	// the objective penalty per newly loaded device (0 disables). A plan
+	// that hosts more devices of a variant than before pays for the loads:
+	// each load takes the device offline for the load delay, a real
+	// throughput cost the pure §4 objective ignores.
+	prev       []int
+	switchCost []float64
+	// groupOf[i] and groupSize[g] describe the slot constraint Σ n <= N_g.
+	groupSize []int
+	// order sorts pair indices by descending variant accuracy.
+	order []int
+	// pairsByGroup indexes pairs per group.
+	pairsByGroup [][]int
+}
+
+func newSearchSpace(groups []groupInfo, pairs []aggPair, refs []VariantRef, demand []float64) *searchSpace {
+	s := &searchSpace{pairs: pairs, refs: refs, demand: demand}
+	s.groupSize = make([]int, len(groups))
+	s.pairsByGroup = make([][]int, len(groups))
+	for g := range groups {
+		s.groupSize[g] = groups[g].size
+	}
+	for i, pr := range pairs {
+		s.pairsByGroup[pr.g] = append(s.pairsByGroup[pr.g], i)
+	}
+	s.order = make([]int, len(pairs))
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		return refs[pairs[s.order[a]].r].Variant.Accuracy > refs[pairs[s.order[b]].r].Variant.Accuracy
+	})
+	return s
+}
+
+// groupInfo is the slice of group metadata the search needs.
+type groupInfo struct{ size int }
+
+// shortfallPenalty prices unserved demand far above any accuracy gain so
+// the search always prefers feasibility.
+const shortfallPenalty = 1e7
+
+// objective evaluates counts by filling each family's demand with the most
+// accurate capacity first, charging switch costs for devices loaded beyond
+// the previous plan. It returns the penalized objective and whether all
+// demand is served.
+func (s *searchSpace) objective(counts []int) (float64, bool) {
+	remaining := append([]float64(nil), s.demand...)
+	obj := 0.0
+	for _, i := range s.order {
+		pr := s.pairs[i]
+		if counts[i] == 0 {
+			continue
+		}
+		q := s.refs[pr.r].Family
+		take := math.Min(remaining[q], pr.peak*float64(counts[i]))
+		obj += take * s.refs[pr.r].Variant.Accuracy
+		remaining[q] -= take
+	}
+	if s.prev != nil && s.switchCost != nil {
+		for i, c := range counts {
+			if loads := c - s.prev[i]; loads > 0 {
+				obj -= float64(loads) * s.switchCost[i]
+			}
+		}
+	}
+	feasible := true
+	for _, r := range remaining {
+		if r > 1e-9 {
+			obj -= shortfallPenalty * r
+			feasible = false
+		}
+	}
+	return obj, feasible
+}
+
+// improve hill-climbs from counts with two move kinds — add a device to a
+// spare slot, and move a device between variants within its group — until
+// no single move improves the objective or maxRounds passes elapse. It
+// mutates and returns counts.
+func (s *searchSpace) improve(counts []int, maxRounds int) []int {
+	obj, _ := s.objective(counts)
+	used := make([]int, len(s.groupSize))
+	for i, c := range counts {
+		used[s.pairs[i].g] += c
+	}
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		// Additions into spare slots.
+		for g, slots := range s.groupSize {
+			for used[g] < slots {
+				bestJ, bestObj := -1, obj
+				for _, j := range s.pairsByGroup[g] {
+					counts[j]++
+					if o, _ := s.objective(counts); o > bestObj+1e-9 {
+						bestJ, bestObj = j, o
+					}
+					counts[j]--
+				}
+				if bestJ < 0 {
+					break
+				}
+				counts[bestJ]++
+				used[g]++
+				obj = bestObj
+				improved = true
+			}
+		}
+		// Intra-group reassignments.
+		for i := range counts {
+			if counts[i] == 0 {
+				continue
+			}
+			g := s.pairs[i].g
+			for _, j := range s.pairsByGroup[g] {
+				if j == i || counts[i] == 0 {
+					continue
+				}
+				counts[i]--
+				counts[j]++
+				if o, _ := s.objective(counts); o > obj+1e-9 {
+					obj = o
+					improved = true
+				} else {
+					counts[i]++
+					counts[j]--
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return counts
+}
+
+// vector expands counts into a full MILP variable assignment (n, w and
+// load-count entries) matching the accuracy-first fill. It returns nil when
+// the counts cannot serve the demand.
+func (s *searchSpace) vector(counts []int, nVars int) []float64 {
+	x := make([]float64, nVars)
+	remaining := append([]float64(nil), s.demand...)
+	for _, i := range s.order {
+		pr := s.pairs[i]
+		x[pr.n] = float64(counts[i])
+		if pr.l >= 0 && s.prev != nil {
+			if loads := counts[i] - s.prev[i]; loads > 0 {
+				x[pr.l] = float64(loads)
+			}
+		}
+		q := s.refs[pr.r].Family
+		take := math.Min(remaining[q], pr.peak*float64(counts[i]))
+		x[pr.w] = take
+		remaining[q] -= take
+	}
+	for _, r := range remaining {
+		if r > 1e-9 {
+			return nil
+		}
+	}
+	return x
+}
+
+// countsFromVector recovers per-pair device counts from a MILP solution.
+func (s *searchSpace) countsFromVector(x []float64) []int {
+	counts := make([]int, len(s.pairs))
+	for i, pr := range s.pairs {
+		counts[i] = int(math.Round(x[pr.n]))
+	}
+	return counts
+}
+
+// shortfall reports, per family, whether the counts leave demand unserved.
+func (s *searchSpace) shortfall(counts []int) []bool {
+	remaining := append([]float64(nil), s.demand...)
+	for _, i := range s.order {
+		pr := s.pairs[i]
+		if counts[i] == 0 {
+			continue
+		}
+		q := s.refs[pr.r].Family
+		take := math.Min(remaining[q], pr.peak*float64(counts[i]))
+		remaining[q] -= take
+	}
+	out := make([]bool, len(remaining))
+	for q, r := range remaining {
+		out[q] = r > 1e-9
+	}
+	return out
+}

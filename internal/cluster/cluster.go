@@ -1,0 +1,198 @@
+// Package cluster models the heterogeneous fixed-size device fleet that
+// Proteus serves on: device types with distinct compute efficiency and
+// memory, and clusters composed of counts of each type. The paper's testbed
+// is 20 Intel Xeon Gold 6126 CPU workers, 10 NVIDIA GTX 1080 Ti workers and
+// 10 NVIDIA V100 workers (§6.1.5).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeviceType identifies a hardware class. All devices of a type are
+// interchangeable: same memory, same performance profile.
+type DeviceType string
+
+// The paper's three device types.
+const (
+	CPU       DeviceType = "cpu"
+	GTX1080Ti DeviceType = "gtx1080ti"
+	V100      DeviceType = "v100"
+)
+
+// TypeSpec is the performance/capacity profile of a device type. The
+// efficiency numbers are calibrated so that the synthetic model zoo in
+// internal/models reproduces the accuracy-throughput curves of the paper's
+// Figure 1a (see internal/profiles).
+type TypeSpec struct {
+	Type DeviceType
+	// MemoryMB is the memory available for model weights and activations.
+	MemoryMB float64
+	// FixedOverheadMS is the per-batch fixed latency (framework dispatch,
+	// kernel launch, transfer setup).
+	FixedOverheadMS float64
+	// EffGFLOPsPerMS is the effective compute rate applied to a variant's
+	// scaled compute cost; see profiles.Latency.
+	EffGFLOPsPerMS float64
+}
+
+// builtinSpecs holds the three standard device types.
+var builtinSpecs = map[DeviceType]TypeSpec{
+	CPU:       {Type: CPU, MemoryMB: 65536, FixedOverheadMS: 10, EffGFLOPsPerMS: 0.0067},
+	GTX1080Ti: {Type: GTX1080Ti, MemoryMB: 11264, FixedOverheadMS: 22, EffGFLOPsPerMS: 0.173},
+	V100:      {Type: V100, MemoryMB: 16384, FixedOverheadMS: 16, EffGFLOPsPerMS: 0.26},
+}
+
+// Spec returns the built-in spec for a device type. It panics on unknown
+// types, which indicate a configuration error.
+func Spec(t DeviceType) TypeSpec {
+	s, ok := builtinSpecs[t]
+	if !ok {
+		panic(fmt.Sprintf("cluster: unknown device type %q", t))
+	}
+	return s
+}
+
+// KnownTypes returns the built-in device types in deterministic order.
+func KnownTypes() []DeviceType {
+	return []DeviceType{CPU, GTX1080Ti, V100}
+}
+
+// Device is one worker machine in the cluster.
+type Device struct {
+	ID   int
+	Name string
+	Spec TypeSpec
+}
+
+// Cluster is an ordered, fixed set of devices.
+type Cluster struct {
+	devices []Device
+}
+
+// New builds a cluster from per-type counts, ordering devices by the order
+// of the counts slice and numbering them densely from zero.
+func New(counts []TypeCount) *Cluster {
+	c := &Cluster{}
+	id := 0
+	for _, tc := range counts {
+		spec := tc.Spec
+		if spec == (TypeSpec{}) {
+			spec = Spec(tc.Type)
+		}
+		for i := 0; i < tc.Count; i++ {
+			c.devices = append(c.devices, Device{
+				ID:   id,
+				Name: fmt.Sprintf("%s-%d", tc.Type, i),
+				Spec: spec,
+			})
+			id++
+		}
+	}
+	return c
+}
+
+// TypeCount is a homogeneous slice of a cluster: Count devices of Type.
+// Spec optionally overrides the built-in TypeSpec (used by scalability
+// benches to synthesize artificial heterogeneity).
+type TypeCount struct {
+	Type  DeviceType
+	Count int
+	Spec  TypeSpec
+}
+
+// PaperTestbed returns the paper's 40-device cluster:
+// 20 CPUs, 10 GTX 1080 Tis, 10 V100s.
+func PaperTestbed() *Cluster {
+	return New([]TypeCount{{Type: CPU, Count: 20}, {Type: GTX1080Ti, Count: 10}, {Type: V100, Count: 10}})
+}
+
+// ScaledTestbed returns a cluster with the paper's 2:1:1 type ratio scaled
+// to the given total size (rounded to multiples of four). Used as the
+// default end-to-end experiment cluster so that exact MILP solves fit the
+// control period with the pure-Go solver (see DESIGN.md).
+func ScaledTestbed(total int) *Cluster {
+	if total < 4 {
+		total = 4
+	}
+	quarter := total / 4
+	return New([]TypeCount{
+		{Type: CPU, Count: 2 * quarter},
+		{Type: GTX1080Ti, Count: quarter},
+		{Type: V100, Count: quarter},
+	})
+}
+
+// Devices returns the devices in ID order. The returned slice must not be
+// modified.
+func (c *Cluster) Devices() []Device { return c.devices }
+
+// WithExtra returns a new cluster with one additional device of the given
+// type appended (IDs of existing devices are unchanged). Used by the §7
+// hardware-scaling-in-tandem extension, where provisioned servers join the
+// fleet after their start-up delay.
+func (c *Cluster) WithExtra(t DeviceType) *Cluster {
+	out := &Cluster{devices: make([]Device, len(c.devices), len(c.devices)+1)}
+	copy(out.devices, c.devices)
+	id := len(out.devices)
+	out.devices = append(out.devices, Device{
+		ID:   id,
+		Name: fmt.Sprintf("%s-extra-%d", t, id),
+		Spec: Spec(t),
+	})
+	return out
+}
+
+// Size returns the number of devices.
+func (c *Cluster) Size() int { return len(c.devices) }
+
+// Device returns the device with the given ID. It panics on out-of-range
+// IDs.
+func (c *Cluster) Device(id int) Device {
+	if id < 0 || id >= len(c.devices) {
+		panic(fmt.Sprintf("cluster: device id %d out of range [0,%d)", id, len(c.devices)))
+	}
+	return c.devices[id]
+}
+
+// TypeGroup is the set of device IDs sharing one TypeSpec.
+type TypeGroup struct {
+	Spec    TypeSpec
+	Devices []int
+}
+
+// GroupByType partitions devices into groups with identical specs, in
+// deterministic order. The resource allocator aggregates identical devices
+// into one integer variable per group, which shrinks the MILP exactly (see
+// DESIGN.md).
+func (c *Cluster) GroupByType() []TypeGroup {
+	byKey := map[TypeSpec][]int{}
+	var keys []TypeSpec
+	for _, d := range c.devices {
+		if _, ok := byKey[d.Spec]; !ok {
+			keys = append(keys, d.Spec)
+		}
+		byKey[d.Spec] = append(byKey[d.Spec], d.ID)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Type != keys[j].Type {
+			return keys[i].Type < keys[j].Type
+		}
+		return keys[i].EffGFLOPsPerMS < keys[j].EffGFLOPsPerMS
+	})
+	groups := make([]TypeGroup, 0, len(keys))
+	for _, k := range keys {
+		groups = append(groups, TypeGroup{Spec: k, Devices: byKey[k]})
+	}
+	return groups
+}
+
+// CountByType returns the number of devices of each built-in type.
+func (c *Cluster) CountByType() map[DeviceType]int {
+	out := map[DeviceType]int{}
+	for _, d := range c.devices {
+		out[d.Spec.Type]++
+	}
+	return out
+}

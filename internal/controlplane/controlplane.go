@@ -1,0 +1,197 @@
+// Package controlplane implements the Proteus controller logic (§3): the
+// statistics collector that aggregates per-application demand from the load
+// balancers' monitoring daemons, and the re-allocation policy — periodic
+// MILP invocations (30 s in the paper) plus burst-triggered early
+// re-allocations with a cooldown. The control path never blocks the data
+// path; the hosting engine (simulator or live cluster) invokes it
+// asynchronously.
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/cluster"
+	"proteus/internal/models"
+	"proteus/internal/router"
+)
+
+// Stats is the statistics collector: one monitoring daemon per family.
+type Stats struct {
+	Monitors []*router.Monitor
+}
+
+// NewStats builds a collector with one monitor per family.
+func NewStats(families, windowSeconds int, burstFactor float64) *Stats {
+	s := &Stats{Monitors: make([]*router.Monitor, families)}
+	for q := range s.Monitors {
+		s.Monitors[q] = router.NewMonitor(windowSeconds, burstFactor)
+	}
+	return s
+}
+
+// Observe records an arrival of family q at time t.
+func (s *Stats) Observe(t time.Duration, q int) { s.Monitors[q].Observe(t) }
+
+// Estimates returns the current per-family demand estimates in QPS.
+func (s *Stats) Estimates(t time.Duration) []float64 {
+	out := make([]float64, len(s.Monitors))
+	for q, m := range s.Monitors {
+		out[q] = m.Rate(t)
+	}
+	return out
+}
+
+// AnyBurst reports whether any family's instantaneous demand exceeds its
+// planned capacity by the burst factor.
+func (s *Stats) AnyBurst(t time.Duration) bool {
+	for _, m := range s.Monitors {
+		if m.Burst(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetPlanned records each family's planned serving capacity from a new
+// allocation.
+func (s *Stats) SetPlanned(served []float64) {
+	for q, m := range s.Monitors {
+		if q < len(served) {
+			m.SetPlanned(served[q])
+		}
+	}
+}
+
+// PlanRecord summarizes one re-allocation for experiment reporting.
+type PlanRecord struct {
+	At                time.Duration
+	Demand            []float64
+	PredictedAccuracy float64
+	DemandScale       float64
+	SolveTime         time.Duration
+	Trigger           string // "initial", "periodic", "burst"
+	HostedVariants    map[string]int
+}
+
+// Controller owns the allocator and the re-allocation schedule.
+type Controller struct {
+	// Period is the regular re-allocation interval (30 s in the paper).
+	Period time.Duration
+	// BurstCooldown is the minimum spacing of burst-triggered
+	// re-allocations.
+	BurstCooldown time.Duration
+
+	alloc    allocator.Allocator
+	cluster  *cluster.Cluster
+	families []models.Family
+	slos     []time.Duration
+
+	last    time.Duration
+	started bool
+	history []PlanRecord
+}
+
+// NewController builds a controller. Period defaults to 30 s, cooldown to
+// 10 s.
+func NewController(a allocator.Allocator, c *cluster.Cluster, families []models.Family, slos []time.Duration, period, cooldown time.Duration) *Controller {
+	if period <= 0 {
+		period = 30 * time.Second
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	return &Controller{
+		Period:        period,
+		BurstCooldown: cooldown,
+		alloc:         a,
+		cluster:       c,
+		families:      families,
+		slos:          slos,
+	}
+}
+
+// Allocator returns the wrapped allocator.
+func (c *Controller) Allocator() allocator.Allocator { return c.alloc }
+
+// SetCluster replaces the device fleet for subsequent re-allocations (the
+// §7 hardware-scaling extension grows it when provisioned servers arrive).
+func (c *Controller) SetCluster(cl *cluster.Cluster) { c.cluster = cl }
+
+// Cluster returns the current device fleet.
+func (c *Controller) Cluster() *cluster.Cluster { return c.cluster }
+
+// Dynamic reports whether re-allocation over time is enabled.
+func (c *Controller) Dynamic() bool { return c.alloc.Dynamic() }
+
+// Reallocate invokes the allocator with the demand estimate and records the
+// plan. Trigger labels the cause for the history.
+func (c *Controller) Reallocate(now time.Duration, demand []float64, trigger string) (*allocator.Allocation, error) {
+	if len(demand) != len(c.families) {
+		return nil, fmt.Errorf("controlplane: demand has %d entries, want %d", len(demand), len(c.families))
+	}
+	in := &allocator.Input{
+		Cluster:  c.cluster,
+		Families: c.families,
+		SLOs:     c.slos,
+		Demand:   demand,
+	}
+	plan, err := c.alloc.Allocate(in)
+	if err != nil {
+		return nil, err
+	}
+	c.last = now
+	c.started = true
+	counts := map[string]int{}
+	for d := range plan.Hosted {
+		if id := plan.HostedID(d); id != "" {
+			counts[id]++
+		}
+	}
+	c.history = append(c.history, PlanRecord{
+		At:                now,
+		Demand:            append([]float64(nil), demand...),
+		PredictedAccuracy: plan.PredictedAccuracy,
+		DemandScale:       plan.DemandScale,
+		SolveTime:         plan.SolveTime,
+		Trigger:           trigger,
+		HostedVariants:    counts,
+	})
+	return plan, nil
+}
+
+// DemandChanged reports whether the demand estimate differs from the last
+// plan's target by more than the relative threshold for any family (with an
+// absolute floor of 1 QPS so idle families do not trigger churn).
+func (c *Controller) DemandChanged(demand []float64, threshold float64) bool {
+	if len(c.history) == 0 {
+		return true
+	}
+	last := c.history[len(c.history)-1].Demand
+	if len(last) != len(demand) {
+		return true
+	}
+	for q := range demand {
+		diff := demand[q] - last[q]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > threshold*last[q]+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowBurst reports whether a burst-triggered re-allocation is permitted
+// at time now (outside the cooldown window of the last re-allocation).
+func (c *Controller) AllowBurst(now time.Duration) bool {
+	if !c.started {
+		return true
+	}
+	return now-c.last >= c.BurstCooldown
+}
+
+// History returns the re-allocation records so far.
+func (c *Controller) History() []PlanRecord { return c.history }

@@ -1,0 +1,144 @@
+package controlplane
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/cluster"
+	"proteus/internal/models"
+	"proteus/internal/profiles"
+)
+
+func fixture(t *testing.T) (*Controller, []models.Family) {
+	t.Helper()
+	var fams []models.Family
+	for _, f := range models.Zoo() {
+		if f.Name == "efficientnet" || f.Name == "mobilenet" {
+			fams = append(fams, f)
+		}
+	}
+	slos := make([]time.Duration, len(fams))
+	for q, f := range fams {
+		slos[q] = profiles.FamilySLO(f, 2)
+	}
+	a := allocator.NewMILP(&allocator.MILPOptions{TimeLimit: 300 * time.Millisecond, RelGap: 0.01})
+	c := NewController(a, cluster.ScaledTestbed(8), fams, slos, 30*time.Second, 10*time.Second)
+	return c, fams
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats(2, 10, 1.5)
+	if len(s.Monitors) != 2 {
+		t.Fatalf("monitors %d", len(s.Monitors))
+	}
+	for i := 0; i < 30; i++ {
+		s.Observe(time.Duration(i)*100*time.Millisecond, 0) // 10 QPS for 3s
+	}
+	est := s.Estimates(3 * time.Second)
+	if est[0] < 9 || est[0] > 11 {
+		t.Fatalf("estimate %v, want ~10", est[0])
+	}
+	if est[1] != 0 {
+		t.Fatalf("idle family estimate %v", est[1])
+	}
+}
+
+func TestStatsBurstDetection(t *testing.T) {
+	s := NewStats(2, 30, 1.5)
+	s.SetPlanned([]float64{10, 1000})
+	for i := 0; i < 40; i++ {
+		s.Observe(time.Duration(i)*25*time.Millisecond, 0) // 40 QPS in second 0
+	}
+	if !s.AnyBurst(time.Second + time.Millisecond) {
+		t.Fatal("40 QPS vs planned 10 must be a burst")
+	}
+	s2 := NewStats(1, 30, 1.5)
+	s2.SetPlanned([]float64{1000})
+	s2.Observe(0, 0)
+	if s2.AnyBurst(time.Second) {
+		t.Fatal("1 QPS vs planned 1000 must not be a burst")
+	}
+}
+
+func TestControllerReallocateRecordsHistory(t *testing.T) {
+	c, fams := fixture(t)
+	if !c.Dynamic() {
+		t.Fatal("MILP controller must be dynamic")
+	}
+	plan, err := c.Reallocate(0, []float64{20, 10}, "initial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || len(plan.Hosted) == 0 {
+		t.Fatal("no plan")
+	}
+	h := c.History()
+	if len(h) != 1 || h[0].Trigger != "initial" || h[0].At != 0 {
+		t.Fatalf("history %+v", h)
+	}
+	if len(h[0].HostedVariants) == 0 {
+		t.Fatal("hosted variants not recorded")
+	}
+	if h[0].Demand[0] != 20 {
+		t.Fatalf("demand not recorded: %v", h[0].Demand)
+	}
+	_ = fams
+}
+
+func TestControllerRejectsWrongDemandShape(t *testing.T) {
+	c, _ := fixture(t)
+	if _, err := c.Reallocate(0, []float64{1}, "periodic"); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestAllowBurstCooldown(t *testing.T) {
+	c, _ := fixture(t)
+	if !c.AllowBurst(0) {
+		t.Fatal("first burst must be allowed")
+	}
+	if _, err := c.Reallocate(100*time.Second, []float64{20, 10}, "periodic"); err != nil {
+		t.Fatal(err)
+	}
+	if c.AllowBurst(105 * time.Second) {
+		t.Fatal("burst inside cooldown allowed")
+	}
+	if !c.AllowBurst(111 * time.Second) {
+		t.Fatal("burst after cooldown denied")
+	}
+}
+
+func TestDemandChanged(t *testing.T) {
+	c, _ := fixture(t)
+	if !c.DemandChanged([]float64{10, 10}, 0.1) {
+		t.Fatal("no history must count as changed")
+	}
+	if _, err := c.Reallocate(0, []float64{100, 50}, "initial"); err != nil {
+		t.Fatal(err)
+	}
+	if c.DemandChanged([]float64{105, 52}, 0.1) {
+		t.Fatal("5% wiggle flagged as change")
+	}
+	if !c.DemandChanged([]float64{150, 50}, 0.1) {
+		t.Fatal("50% jump not flagged")
+	}
+	// Absolute floor: tiny demands must not flag on tiny absolute moves.
+	if _, err := c.Reallocate(0, []float64{0.5, 0.5}, "periodic"); err != nil {
+		t.Fatal(err)
+	}
+	if c.DemandChanged([]float64{1.2, 0.5}, 0.1) {
+		t.Fatal("sub-1-QPS move flagged as change")
+	}
+}
+
+func TestControllerDefaults(t *testing.T) {
+	a := allocator.NewInfaasAccuracy()
+	c := NewController(a, cluster.ScaledTestbed(4), nil, nil, 0, 0)
+	if c.Period != 30*time.Second || c.BurstCooldown != 10*time.Second {
+		t.Fatalf("defaults %v %v", c.Period, c.BurstCooldown)
+	}
+	if c.Allocator() != a {
+		t.Fatal("allocator accessor broken")
+	}
+}

@@ -1,0 +1,161 @@
+// Package core assembles the full Proteus system on the discrete-event
+// engine: per-application load balancers (request router + monitoring
+// daemon), per-device workers running a batching policy, and the controller
+// that re-allocates resources periodically and on bursts. It mirrors the
+// paper's simulator (§6.1.5), which tracks their 40-machine cluster testbed
+// within ~1%.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/batching"
+	"proteus/internal/cluster"
+	"proteus/internal/models"
+	"proteus/internal/profiles"
+)
+
+// Config describes one simulated serving system.
+type Config struct {
+	// Cluster is the device fleet. Required.
+	Cluster *cluster.Cluster
+	// Families are the registered applications (query types). Required.
+	Families []models.Family
+	// SLOMultiplier scales each family's SLO relative to the batch-1 CPU
+	// latency of its fastest variant (§6.1.2). Default 2.
+	SLOMultiplier float64
+	// Allocator is the resource-management policy. Required
+	// (allocator.ByName builds one from artifact config names).
+	Allocator allocator.Allocator
+	// Batching creates each worker's batching policy. Default AccScale.
+	Batching batching.Factory
+	// ControlPeriod is the periodic re-allocation interval. Default 30s.
+	ControlPeriod time.Duration
+	// DemandWindow is the statistics collector's estimation window.
+	// Default: ControlPeriod.
+	DemandWindow time.Duration
+	// BurstFactor triggers an early re-allocation when a family's
+	// instantaneous demand exceeds its planned capacity by this factor.
+	// Default 1.5.
+	BurstFactor float64
+	// BurstCooldown is the minimum spacing of burst re-allocations.
+	// Default 10s.
+	BurstCooldown time.Duration
+	// Headroom over-provisions demand estimates when re-allocating
+	// (the artifact's β = 1.05 hyper-parameter). Default 1.05.
+	Headroom float64
+	// ModelLoadDelay is the time a device is unavailable while switching
+	// hosted variants (container start + weight load). Default 2s.
+	ModelLoadDelay time.Duration
+	// PlanApplyDelay models the control-path latency between invoking the
+	// resource manager and the new plan taking effect (solver + propagation
+	// time, off the critical path per §4). Default 1s.
+	PlanApplyDelay time.Duration
+	// MetricsInterval is the time-series bin width. Default 10s.
+	MetricsInterval time.Duration
+	// Elastic enables the §7 hardware-scaling-in-tandem extension: when a
+	// plan sheds demand (capacity exhausted even at the lowest accuracy),
+	// the controller provisions an extra device, which joins the fleet
+	// after ProvisionDelay; accuracy scaling absorbs the burst meanwhile.
+	Elastic *ElasticConfig
+	// DisableAdmission turns off load-balancer admission control: all
+	// arriving queries are routed even when the plan sheds load, leaving
+	// overload to pile up in worker queues. Exists for the design-ablation
+	// experiments; production behaviour is admission on.
+	DisableAdmission bool
+	// Seed drives all simulator randomness (routing, arrival expansion).
+	Seed uint64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Cluster == nil || c.Cluster.Size() == 0 {
+		return c, fmt.Errorf("core: config needs a cluster")
+	}
+	if len(c.Families) == 0 {
+		return c, fmt.Errorf("core: config needs families")
+	}
+	if c.Allocator == nil {
+		return c, fmt.Errorf("core: config needs an allocator")
+	}
+	if c.SLOMultiplier <= 0 {
+		c.SLOMultiplier = 2
+	}
+	if c.Batching == nil {
+		c.Batching = func() batching.Policy { return batching.NewAccScale() }
+	}
+	if c.ControlPeriod <= 0 {
+		c.ControlPeriod = 30 * time.Second
+	}
+	if c.DemandWindow <= 0 {
+		c.DemandWindow = c.ControlPeriod
+	}
+	if c.BurstFactor <= 0 {
+		c.BurstFactor = 1.5
+	}
+	if c.BurstCooldown <= 0 {
+		c.BurstCooldown = 10 * time.Second
+	}
+	if c.Headroom <= 0 {
+		c.Headroom = 1.05
+	}
+	if c.ModelLoadDelay < 0 {
+		c.ModelLoadDelay = 0
+	} else if c.ModelLoadDelay == 0 {
+		c.ModelLoadDelay = 2 * time.Second
+	}
+	if c.PlanApplyDelay < 0 {
+		c.PlanApplyDelay = 0
+	} else if c.PlanApplyDelay == 0 {
+		c.PlanApplyDelay = time.Second
+	}
+	if c.MetricsInterval <= 0 {
+		c.MetricsInterval = 10 * time.Second
+	}
+	if c.Elastic != nil {
+		c.Elastic = c.Elastic.withDefaults()
+	}
+	return c, nil
+}
+
+// ElasticConfig parameterizes hardware scaling in tandem with accuracy
+// scaling (§7 of the paper, described there as future work).
+type ElasticConfig struct {
+	// MaxExtra bounds how many devices may be provisioned on top of the
+	// fixed cluster.
+	MaxExtra int
+	// Type is the device type provisioned (default V100).
+	Type cluster.DeviceType
+	// ProvisionDelay is the server start-up time — the window during which
+	// accuracy scaling alone carries the burst (default 60s).
+	ProvisionDelay time.Duration
+}
+
+func (e *ElasticConfig) withDefaults() *ElasticConfig {
+	out := *e
+	if out.Type == "" {
+		out.Type = cluster.V100
+	}
+	if out.ProvisionDelay <= 0 {
+		out.ProvisionDelay = 60 * time.Second
+	}
+	if out.MaxExtra < 0 {
+		out.MaxExtra = 0
+	}
+	return &out
+}
+
+// SLOs computes the per-family SLOs for the config.
+func (c Config) SLOs() []time.Duration {
+	out := make([]time.Duration, len(c.Families))
+	for q, f := range c.Families {
+		out[q] = profiles.FamilySLO(f, c.SLOMultiplier)
+	}
+	return out
+}
+
+// FamilyNames returns the family names in index order.
+func (c Config) FamilyNames() []string {
+	return models.FamilyNames(c.Families)
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/cluster"
+	"proteus/internal/controlplane"
+	"proteus/internal/metrics"
+	"proteus/internal/models"
+	"proteus/internal/numeric"
+	"proteus/internal/profiles"
+	"proteus/internal/router"
+	"proteus/internal/simulation"
+	"proteus/internal/trace"
+)
+
+// System is one assembled inference-serving system under simulation.
+type System struct {
+	cfg     Config
+	engine  *simulation.Engine
+	rng     *numeric.RNG
+	workers []*worker
+	slos    []time.Duration
+
+	table        *router.Table
+	plan         *allocator.Allocation
+	stats        *controlplane.Stats
+	controller   *controlplane.Controller
+	collector    *metrics.Collector
+	profileStore *profiles.Store
+
+	nextID     uint64
+	reallocErr error
+
+	// Hardware scaling in tandem (§7): extra devices provisioned and in
+	// flight.
+	extraProvisioned int
+	extraPending     int
+}
+
+// NewSystem builds a system from the config.
+func NewSystem(cfg Config) (*System, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:    cfg,
+		engine: simulation.NewEngine(),
+		rng:    numeric.NewRNG(cfg.Seed),
+		slos:   cfg.SLOs(),
+	}
+	s.collector = metrics.NewCollector(cfg.MetricsInterval, cfg.FamilyNames())
+	// The controller's model profiler (§3): every (variant, device type,
+	// batch) latency is measured up front and stored in the O(1) key-value
+	// store the workers consult on their hot path.
+	s.profileStore = profiles.NewStore()
+	reg := models.MustRegistry(cfg.Families)
+	types := make(map[cluster.DeviceType]bool)
+	var typeList []cluster.DeviceType
+	for _, d := range cfg.Cluster.Devices() {
+		if !types[d.Spec.Type] {
+			types[d.Spec.Type] = true
+			typeList = append(typeList, d.Spec.Type)
+		}
+	}
+	s.profileStore.ProfileAll(reg, typeList, maxProfiledBatch)
+	s.stats = controlplane.NewStats(len(cfg.Families), int(cfg.DemandWindow/time.Second), cfg.BurstFactor)
+	s.controller = controlplane.NewController(
+		cfg.Allocator, cfg.Cluster, cfg.Families, s.slos, cfg.ControlPeriod, cfg.BurstCooldown)
+	for _, dev := range cfg.Cluster.Devices() {
+		s.workers = append(s.workers, &worker{sys: s, dev: dev, policy: cfg.Batching()})
+	}
+	s.plan = allocator.NewAllocation(&allocator.Input{
+		Cluster:  cfg.Cluster,
+		Families: cfg.Families,
+		SLOs:     s.slos,
+		Demand:   make([]float64, len(cfg.Families)),
+	})
+	s.table = router.BuildTable(s.plan, len(cfg.Families))
+	return s, nil
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Collector holds the full per-bin time series.
+	Collector *metrics.Collector
+	// Summary aggregates all families (§6.1.4 metrics).
+	Summary metrics.Summary
+	// PerFamily aggregates each family separately (Fig. 9).
+	PerFamily []metrics.Summary
+	// Plans is the controller's re-allocation history.
+	Plans []controlplane.PlanRecord
+	// ModelLoads counts model-variant load events across workers.
+	ModelLoads int
+	// ExtraDevices counts servers provisioned by the §7 hardware-scaling
+	// extension during the run (0 unless Config.Elastic is set).
+	ExtraDevices int
+	// Wall is the real time the simulation took.
+	Wall time.Duration
+}
+
+// Run replays the trace through the system and returns the collected
+// metrics. The first allocation is computed from the trace's initial demand
+// (the paper's systems likewise pre-load an initial plan).
+func (s *System) Run(tr *trace.Trace) (*Result, error) {
+	if len(tr.Families) != len(s.cfg.Families) {
+		return nil, fmt.Errorf("core: trace has %d families, system has %d", len(tr.Families), len(s.cfg.Families))
+	}
+	// Initial plan from the first control period's average demand.
+	warm := int(s.cfg.ControlPeriod / time.Second)
+	if warm > tr.Seconds() {
+		warm = tr.Seconds()
+	}
+	initial := make([]float64, len(s.cfg.Families))
+	if warm > 0 {
+		for t := 0; t < warm; t++ {
+			for q := range initial {
+				initial[q] += tr.Demand[t][q]
+			}
+		}
+		for q := range initial {
+			initial[q] /= float64(warm)
+		}
+	}
+	arrivals := tr.Arrivals(s.rng.Split())
+	return s.RunArrivals(arrivals, time.Duration(tr.Seconds())*time.Second, initial)
+}
+
+// RunArrivals replays an explicit arrival sequence (already sorted by time)
+// for the given duration, pre-loading an initial plan for initialDemand.
+// It is the entry point for the §6.4 batching experiments, whose arrival
+// processes are not Poisson.
+func (s *System) RunArrivals(arrivals []trace.Arrival, duration time.Duration, initialDemand []float64) (*Result, error) {
+	start := time.Now()
+	if len(initialDemand) != len(s.cfg.Families) {
+		return nil, fmt.Errorf("core: initial demand has %d entries, want %d", len(initialDemand), len(s.cfg.Families))
+	}
+	initial := make([]float64, len(initialDemand))
+	for q := range initial {
+		initial[q] = initialDemand[q] * s.cfg.Headroom
+	}
+	plan, err := s.controller.Reallocate(0, initial, "initial")
+	if err != nil {
+		return nil, fmt.Errorf("core: initial allocation: %w", err)
+	}
+	s.applyPlan(plan, true)
+
+	for _, a := range arrivals {
+		a := a
+		s.engine.Schedule(a.Time, func() { s.onArrival(a) })
+	}
+
+	// Periodic controller invocations for dynamic allocators.
+	if s.controller.Dynamic() {
+		for at := s.cfg.ControlPeriod; at < duration; at += s.cfg.ControlPeriod {
+			at := at
+			s.engine.Schedule(at, func() { s.reallocate("periodic") })
+		}
+	}
+
+	s.engine.Run()
+	if s.reallocErr != nil {
+		return nil, s.reallocErr
+	}
+
+	res := &Result{
+		Collector: s.collector,
+		Summary:   s.collector.Summarize(-1),
+		Plans:     s.controller.History(),
+		Wall:      time.Since(start),
+	}
+	for q := range s.cfg.Families {
+		res.PerFamily = append(res.PerFamily, s.collector.Summarize(q))
+	}
+	for _, w := range s.workers {
+		res.ModelLoads += w.loads
+	}
+	res.ExtraDevices = s.extraProvisioned
+	return res, nil
+}
+
+// Collector exposes the metrics collector (for live inspection in tests).
+func (s *System) Collector() *metrics.Collector { return s.collector }
+
+func (s *System) onArrival(a trace.Arrival) {
+	now := s.engine.Now()
+	s.stats.Observe(now, a.Family)
+	s.collector.Arrival(now, a.Family)
+	q := query{
+		id:       s.nextID,
+		family:   a.Family,
+		arrival:  now,
+		deadline: now + s.slos[a.Family],
+	}
+	s.nextID++
+	s.route(now, q)
+
+	// Burst detection on the data path's monitoring daemon (§3).
+	if s.controller.Dynamic() && s.stats.AnyBurst(now) && s.controller.AllowBurst(now) {
+		s.reallocate("burst")
+	}
+}
+
+func (s *System) route(now time.Duration, q query) {
+	d := s.table.Pick(q.family, s.rng)
+	if d < 0 {
+		s.dropQuery(now, q)
+		return
+	}
+	s.workers[d].enqueue(q)
+}
+
+func (s *System) reallocate(trigger string) {
+	now := s.engine.Now()
+	demand := s.stats.Estimates(now)
+	for q := range demand {
+		if trigger == "burst" {
+			// A burst re-allocation reacts to the instantaneous rate; the
+			// periodic path sticks to the windowed estimate so Poisson
+			// noise does not churn the plan.
+			if inst := s.stats.Monitors[q].InstantRate(now); inst > demand[q] {
+				demand[q] = inst
+			}
+		}
+		demand[q] *= s.cfg.Headroom
+	}
+	// §4: re-allocate in response to macro-scale demand changes. When the
+	// demand estimate is close to the current plan's target, keep the plan
+	// — re-solving would only churn model loads.
+	if trigger == "periodic" && !s.controller.DemandChanged(demand, 0.1) {
+		return
+	}
+	plan, err := s.controller.Reallocate(now, demand, trigger)
+	if err != nil {
+		if s.reallocErr == nil {
+			s.reallocErr = fmt.Errorf("core: re-allocation at %v: %w", now, err)
+		}
+		return
+	}
+	// The plan takes effect after the control-path delay (§4: the solver is
+	// off the critical path, so serving continues meanwhile).
+	s.engine.After(s.cfg.PlanApplyDelay, func() { s.applyPlan(plan, false) })
+
+	// Hardware scaling in tandem (§7): a plan that sheds demand means even
+	// the lowest-accuracy hosting cannot cover the load — start a server;
+	// accuracy scaling carries the burst until it arrives.
+	if e := s.cfg.Elastic; e != nil && plan.DemandScale < 0.999 &&
+		s.extraProvisioned+s.extraPending < e.MaxExtra {
+		s.extraPending++
+		s.engine.After(e.ProvisionDelay, s.provisionDevice)
+	}
+}
+
+// provisionDevice adds one elastic device to the fleet and re-allocates so
+// the new capacity is put to use immediately.
+func (s *System) provisionDevice() {
+	e := s.cfg.Elastic
+	s.extraPending--
+	s.extraProvisioned++
+	grown := s.controller.Cluster().WithExtra(e.Type)
+	s.controller.SetCluster(grown)
+	dev := grown.Device(grown.Size() - 1)
+	s.workers = append(s.workers, &worker{sys: s, dev: dev, policy: s.cfg.Batching()})
+	s.reallocate("provision")
+}
+
+// applyPlan installs a new allocation: per-worker hosted variants (with
+// load delays and queue re-routing), planned capacities, and the routing
+// table — masked to exclude devices that are still loading their new model,
+// so sub-second-SLO queries never sit behind a multi-second model load.
+func (s *System) applyPlan(plan *allocator.Allocation, initial bool) {
+	now := s.engine.Now()
+	s.plan = plan
+	s.stats.SetPlanned(plan.ServedQPS)
+	var rerouted []query
+	for d, w := range s.workers {
+		var hostedRef *allocator.VariantRef
+		newID := ""
+		if d < len(plan.Hosted) {
+			hostedRef = plan.Hosted[d]
+			newID = plan.HostedID(d)
+		}
+		if newID == w.hostedID() {
+			continue
+		}
+		rerouted = append(rerouted, w.takeQueue()...)
+		w.setHosted(hostedRef, now)
+		if initial {
+			// Initial plan: models are loaded before the experiment starts.
+			w.loadingUntil = 0
+		}
+		if w.loadingUntil > now {
+			// Re-admit the device into the routing table once ready.
+			s.engine.Schedule(w.loadingUntil, func() {
+				s.rebuildTable()
+				w.evaluate()
+			})
+		}
+	}
+	s.rebuildTable()
+	for _, q := range rerouted {
+		s.route(now, q)
+	}
+	for _, w := range s.workers {
+		w.evaluate()
+	}
+}
+
+// rebuildTable rebuilds the routing table from the current plan, excluding
+// devices whose model is still loading. Weights renormalize per family so
+// ready devices absorb the load meanwhile.
+func (s *System) rebuildTable() {
+	now := s.engine.Now()
+	masked := allocator.Allocation{
+		Hosted:  s.plan.Hosted,
+		Routing: make([][]float64, len(s.plan.Routing)),
+	}
+	admit := make([]float64, len(s.plan.Routing))
+	for q, row := range s.plan.Routing {
+		masked.Routing[q] = make([]float64, len(row))
+		for d, y := range row {
+			if y <= 0 {
+				continue
+			}
+			admit[q] += y
+			if s.workers[d].loadingUntil > now {
+				continue
+			}
+			masked.Routing[q][d] = y
+		}
+	}
+	s.table = router.BuildTable(&masked, len(s.cfg.Families))
+	if s.cfg.DisableAdmission {
+		for q := range admit {
+			if admit[q] > 0 {
+				admit[q] = 1
+			}
+		}
+	}
+	// Admission follows the full plan, not the load-masked subset: during a
+	// model load the remaining devices absorb the full admitted load.
+	s.table.SetAdmission(admit)
+}
+
+func (s *System) dropQuery(now time.Duration, q query) {
+	s.collector.Dropped(now, q.family)
+}
+
+func (s *System) serveQuery(now time.Duration, q query, accuracy float64) {
+	s.collector.Served(now, q.family, accuracy, now-q.arrival)
+}
+
+func (s *System) lateQuery(now time.Duration, q query) {
+	s.collector.Late(now, q.family, now-q.arrival)
+}

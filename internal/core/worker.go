@@ -1,0 +1,260 @@
+package core
+
+import (
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/batching"
+	"proteus/internal/cluster"
+	"proteus/internal/profiles"
+	"proteus/internal/simulation"
+)
+
+// query is one inference request flowing through the system.
+type query struct {
+	id       uint64
+	family   int
+	arrival  time.Duration
+	deadline time.Duration
+}
+
+// worker is one device: a queue, a batching policy and a (simulated)
+// hardware executor. All methods run inside engine callbacks.
+type worker struct {
+	sys    *System
+	dev    cluster.Device
+	policy batching.Policy
+
+	hosted       *allocator.VariantRef
+	maxBatch     int // SLO- and memory-capped batch for the hosted variant
+	memBatch     int // memory-only cap
+	queue        []query
+	busy         bool
+	loadingUntil time.Duration
+	wake         *simulation.Event
+
+	// batchesRun counts executed batches (for reports).
+	batchesRun int
+	loads      int
+
+	// Arrival-rate estimation for rate-planned batching policies (Nexus):
+	// per-second counts folded into an EWMA.
+	rateEWMA   float64
+	rateBucket int64 // second index of the open bucket
+	rateCount  int
+}
+
+// noteArrival folds one arrival into the rate estimate.
+func (w *worker) noteArrival(now time.Duration) {
+	sec := int64(now / time.Second)
+	if sec != w.rateBucket {
+		// Fold closed buckets, decaying through empty seconds.
+		const alpha = 0.3
+		w.rateEWMA = alpha*float64(w.rateCount) + (1-alpha)*w.rateEWMA
+		for s := w.rateBucket + 1; s < sec && s-w.rateBucket < 30; s++ {
+			w.rateEWMA *= 1 - alpha
+		}
+		w.rateBucket = sec
+		w.rateCount = 0
+	}
+	w.rateCount++
+}
+
+// arrivalRate returns the smoothed arrival rate in QPS, biased toward the
+// open bucket when it already exceeds the average (fast ramp-up).
+func (w *worker) arrivalRate() float64 {
+	if float64(w.rateCount) > w.rateEWMA {
+		return float64(w.rateCount)
+	}
+	return w.rateEWMA
+}
+
+func (w *worker) hostedID() string {
+	if w.hosted == nil {
+		return ""
+	}
+	return w.hosted.Variant.ID()
+}
+
+// setHosted installs a (possibly nil) variant, resetting batching state and
+// simulating the model-load delay. The caller re-routes any queued queries.
+func (w *worker) setHosted(ref *allocator.VariantRef, now time.Duration) {
+	w.hosted = ref
+	w.policy.Reset()
+	if ref == nil {
+		w.maxBatch, w.memBatch = 0, 0
+		return
+	}
+	slo := w.sys.slos[ref.Family]
+	w.maxBatch = profiles.MaxBatch(w.dev.Spec, ref.Variant, slo)
+	w.memBatch = profiles.MaxMemoryBatch(w.dev.Spec, ref.Variant)
+	w.loadingUntil = now + w.sys.cfg.ModelLoadDelay
+	w.loads++
+}
+
+// maxProfiledBatch bounds the profiler's pre-computed batch range; larger
+// batches fall back to the analytical model.
+const maxProfiledBatch = 64
+
+// procTime is the batch latency of the hosted variant on this device: an
+// O(1) lookup in the controller's profile store (§3), falling back to the
+// analytical model for batch sizes beyond the profiled range.
+func (w *worker) procTime(b int) time.Duration {
+	if d, ok := w.sys.profileStore.Get(w.hosted.Variant.ID(), w.dev.Spec.Type, b); ok {
+		return d
+	}
+	return profiles.Latency(w.dev.Spec, w.hosted.Variant, b)
+}
+
+// enqueue admits a routed query and re-evaluates the batching decision.
+func (w *worker) enqueue(q query) {
+	w.noteArrival(w.sys.engine.Now())
+	w.queue = append(w.queue, q)
+	w.evaluate()
+}
+
+// takeQueue removes and returns all queued queries (used when the hosted
+// model changes and the queue must be re-routed).
+func (w *worker) takeQueue() []query {
+	qs := w.queue
+	w.queue = nil
+	w.cancelWake()
+	return qs
+}
+
+func (w *worker) cancelWake() {
+	if w.wake != nil {
+		w.wake.Cancel()
+		w.wake = nil
+	}
+}
+
+// dropExpired removes queries that cannot possibly complete within their
+// SLO any more — even executed alone and immediately, the batch-1 latency
+// would land past the deadline. Executing them would only waste capacity
+// (the client has timed out regardless); they count as SLO violations.
+func (w *worker) dropExpired(now time.Duration) {
+	horizon := now + w.procTime(1)
+	keep := w.queue[:0]
+	for _, q := range w.queue {
+		if q.deadline < horizon {
+			w.sys.dropQuery(now, q)
+			continue
+		}
+		keep = append(keep, q)
+	}
+	w.queue = keep
+}
+
+// evaluate runs the batching policy and acts on its decision. It is called
+// on arrival, on batch completion, on load completion and on wake-up.
+func (w *worker) evaluate() {
+	now := w.sys.engine.Now()
+	if w.busy {
+		return
+	}
+	if w.hosted == nil || w.maxBatch < 1 {
+		// Nothing runnable here; shed whatever was routed to us.
+		for _, q := range w.queue {
+			w.sys.dropQuery(now, q)
+		}
+		w.queue = nil
+		return
+	}
+	if now < w.loadingUntil {
+		// Model still loading: hold the queue and try again when ready.
+		w.cancelWake()
+		until := w.loadingUntil
+		w.wake = w.sys.engine.Schedule(until, func() {
+			w.wake = nil
+			w.evaluate()
+		})
+		return
+	}
+	w.dropExpired(now)
+	if len(w.queue) == 0 {
+		w.cancelWake()
+		return
+	}
+
+	pq := make([]batching.Query, len(w.queue))
+	for i, q := range w.queue {
+		pq[i] = batching.Query{ID: q.id, Arrival: q.arrival, Deadline: q.deadline}
+	}
+	ctx := batching.Context{
+		Now:         now,
+		Queue:       pq,
+		MaxBatch:    w.maxBatch,
+		MemBatch:    w.memBatch,
+		ProcTime:    w.procTime,
+		ArrivalRate: w.arrivalRate(),
+	}
+	d := w.policy.Decide(&ctx)
+	if len(d.Drop) > 0 {
+		w.applyDrops(now, d.Drop)
+	}
+	switch d.Action {
+	case batching.Idle:
+		w.cancelWake()
+	case batching.Wait:
+		w.cancelWake()
+		at := d.WakeAt
+		if at <= now {
+			at = now
+		}
+		w.wake = w.sys.engine.Schedule(at, func() {
+			w.wake = nil
+			w.evaluate()
+		})
+	case batching.Execute:
+		w.cancelWake()
+		w.execute(now, d.BatchSize)
+	}
+}
+
+// applyDrops removes the given ascending queue indices, recording drops.
+func (w *worker) applyDrops(now time.Duration, drop []int) {
+	di := 0
+	keep := w.queue[:0]
+	for i, q := range w.queue {
+		if di < len(drop) && drop[di] == i {
+			w.sys.dropQuery(now, q)
+			di++
+			continue
+		}
+		keep = append(keep, q)
+	}
+	w.queue = keep
+}
+
+// execute runs the first b queued queries as one batch.
+func (w *worker) execute(now time.Duration, b int) {
+	if b > len(w.queue) {
+		b = len(w.queue)
+	}
+	if b < 1 {
+		return
+	}
+	batch := make([]query, b)
+	copy(batch, w.queue[:b])
+	w.queue = append(w.queue[:0], w.queue[b:]...)
+
+	accuracy := w.hosted.Variant.Accuracy
+	done := now + w.procTime(b)
+	w.busy = true
+	w.batchesRun++
+	w.sys.engine.Schedule(done, func() {
+		w.busy = false
+		violations := 0
+		for _, q := range batch {
+			if done <= q.deadline {
+				w.sys.serveQuery(done, q, accuracy)
+			} else {
+				w.sys.lateQuery(done, q)
+				violations++
+			}
+		}
+		w.policy.Observe(len(batch), violations)
+		w.evaluate()
+	})
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/batching"
+	"proteus/internal/trace"
+)
+
+// harness builds a 1-device system with a manually installed plan so that
+// worker behaviour can be observed in isolation.
+func harness(t *testing.T, policy batching.Policy) (*System, *worker) {
+	t.Helper()
+	cfg := smallConfig(t)
+	cfg.Batching = func() batching.Policy { return policy }
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, sys.workers[0]
+}
+
+func TestWorkerQueueExpiryDropsDoomedQueries(t *testing.T) {
+	sys, w := harness(t, batching.NewAccScale())
+	// Install a hosted variant manually (CPU, efficientnet b0).
+	ref := &allocator.VariantRef{Family: 0, Variant: sys.cfg.Families[0].Variants[0]}
+	w.setHosted(ref, 0)
+	w.loadingUntil = 0
+
+	// A query whose deadline is already closer than even a batch-1 run.
+	sys.engine.Schedule(0, func() {
+		w.enqueue(query{id: 1, family: 0, arrival: 0, deadline: time.Millisecond})
+	})
+	sys.engine.Run()
+	sum := sys.collector.Summarize(-1)
+	if sum.Dropped != 1 {
+		t.Fatalf("doomed query not dropped: %+v", sum)
+	}
+	if len(w.queue) != 0 {
+		t.Fatalf("queue not drained: %d", len(w.queue))
+	}
+}
+
+func TestWorkerExecutesAndObservesBatch(t *testing.T) {
+	sys, w := harness(t, batching.NewAIMD())
+	// Worker 0 is a CPU: host the family's fastest variant, the only one
+	// SLO-feasible there.
+	ref := &allocator.VariantRef{Family: 0, Variant: sys.cfg.Families[0].Variants[0]}
+	w.setHosted(ref, 0)
+	w.loadingUntil = 0
+	slo := sys.slos[0]
+
+	sys.engine.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			w.enqueue(query{id: uint64(i), family: 0, arrival: 0, deadline: 4 * slo})
+		}
+	})
+	sys.engine.Run()
+	sum := sys.collector.Summarize(-1)
+	if sum.Served+sum.Late != 3 {
+		t.Fatalf("batch incomplete: %+v", sum)
+	}
+	if w.batchesRun == 0 {
+		t.Fatal("no batches recorded")
+	}
+}
+
+func TestWorkerWithoutModelShedsEverything(t *testing.T) {
+	sys, w := harness(t, batching.NewAccScale())
+	sys.engine.Schedule(0, func() {
+		w.enqueue(query{id: 1, family: 0, arrival: 0, deadline: time.Second})
+	})
+	sys.engine.Run()
+	if sum := sys.collector.Summarize(-1); sum.Dropped != 1 {
+		t.Fatalf("idle-device query not shed: %+v", sum)
+	}
+}
+
+func TestWorkerLoadingDelaysExecution(t *testing.T) {
+	sys, w := harness(t, batching.NewAccScale())
+	ref := &allocator.VariantRef{Family: 0, Variant: sys.cfg.Families[0].Variants[0]}
+	slo := sys.slos[0]
+	deadline := sys.cfg.ModelLoadDelay + 3*slo
+	sys.engine.Schedule(0, func() {
+		w.setHosted(ref, sys.engine.Now()) // starts the load timer
+		w.enqueue(query{id: 1, family: 0, arrival: 0, deadline: deadline})
+	})
+	sys.engine.Run()
+	sum := sys.collector.Summarize(-1)
+	if sum.Served != 1 {
+		t.Fatalf("query not served after load: %+v", sum)
+	}
+	// Completion cannot precede the model-load delay.
+	if sum.MeanLatency < sys.cfg.ModelLoadDelay {
+		t.Fatalf("latency %v below the load delay %v", sum.MeanLatency, sys.cfg.ModelLoadDelay)
+	}
+}
+
+func TestWorkerRateEstimator(t *testing.T) {
+	sys, w := harness(t, batching.NewAccScale())
+	_ = sys
+	// 100 arrivals in second 0, then silence.
+	for i := 0; i < 100; i++ {
+		w.noteArrival(time.Duration(i) * 10 * time.Millisecond)
+	}
+	if r := w.arrivalRate(); r < 90 {
+		t.Fatalf("open-bucket rate %v, want ~100", r)
+	}
+	// Close the bucket and decay through idle seconds.
+	w.noteArrival(5 * time.Second)
+	if r := w.arrivalRate(); r > 40 {
+		t.Fatalf("rate %v did not decay after idle seconds", r)
+	}
+}
+
+func TestRunArrivalsRejectsBadInitialDemand(t *testing.T) {
+	cfg := smallConfig(t)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunArrivals(nil, time.Second, []float64{1}); err == nil {
+		t.Fatal("mismatched initial demand accepted")
+	}
+}
+
+func TestRunArrivalsExplicitSequence(t *testing.T) {
+	cfg := smallConfig(t)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []trace.Arrival
+	for i := 0; i < 200; i++ {
+		arr = append(arr, trace.Arrival{Time: time.Duration(i) * 50 * time.Millisecond, Family: i % 2})
+	}
+	res, err := sys.RunArrivals(arr, 10*time.Second, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Queries != 200 {
+		t.Fatalf("queries %d", res.Summary.Queries)
+	}
+	if res.Summary.Served == 0 {
+		t.Fatal("nothing served")
+	}
+}

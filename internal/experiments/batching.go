@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"proteus/internal/batching"
+	"proteus/internal/models"
+	"proteus/internal/numeric"
+	"proteus/internal/trace"
+)
+
+// Fig6Point is one (arrival process, batching policy) cell of Figure 6.
+type Fig6Point struct {
+	Process        trace.ArrivalProcess
+	Batching       string
+	ViolationRatio float64
+	Served         int
+	Queries        int
+}
+
+// Fig6BatchingNames are the three batching policies the paper compares,
+// each running on top of Proteus's resource allocation (§6.4).
+var Fig6BatchingNames = []string{"accscale", "nexus", "aimd"}
+
+// Fig6 reproduces the §6.4 adaptive-batching isolation: the same constant
+// offered load with uniform, Poisson, and Gamma(0.05) inter-arrival
+// processes, served by Proteus with each batching policy. Resource
+// allocation is identical across cells (same allocator, same demand), so
+// differences come from batching alone.
+func Fig6(o Options) ([]Fig6Point, error) {
+	o = o.withDefaults()
+	fams := models.Zoo()
+	names := models.FamilyNames(fams)
+	z := numeric.NewZipf(len(fams), 1.001)
+	totalQPS := o.BaseQPS * 1.5
+	duration := time.Duration(o.TraceSeconds) * time.Second
+
+	var out []Fig6Point
+	for _, proc := range []trace.ArrivalProcess{trace.Uniform, trace.PoissonProcess, trace.GammaProcess} {
+		// One arrival sequence per process, shared by all policies.
+		rng := numeric.NewRNG(o.Seed + uint64(proc) + 100)
+		var arrivals []trace.Arrival
+		demand := make([]float64, len(fams))
+		for q := range fams {
+			rate := totalQPS * z.P(q)
+			demand[q] = rate
+			times := trace.InterArrivalTimes(proc, rate, duration, rng.Split())
+			arrivals = append(arrivals, trace.SingleFamilyArrivals(times, q)...)
+		}
+		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].Time < arrivals[j].Time })
+
+		for _, bname := range Fig6BatchingNames {
+			factory, err := batching.ByName(bname)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := o.newSystem("ilp", factory, o.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sys.RunArrivals(arrivals, duration, demand)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig6 %v/%s: %w", proc, bname, err)
+			}
+			out = append(out, Fig6Point{
+				Process:        proc,
+				Batching:       bname,
+				ViolationRatio: res.Summary.ViolationRatio,
+				Served:         res.Summary.Served,
+				Queries:        res.Summary.Queries,
+			})
+		}
+		_ = names
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"sort"
+
+	"proteus/internal/cluster"
+	"proteus/internal/models"
+	"proteus/internal/profiles"
+)
+
+// Fig1aRow is one point of Figure 1a: one EfficientNet variant on one
+// device type at batch size one.
+type Fig1aRow struct {
+	Device   cluster.DeviceType
+	Variant  string
+	Accuracy float64
+	QPS      float64 // 1 / batch-1 latency
+}
+
+// Fig1a reproduces Figure 1a: the accuracy-throughput trade-off of the
+// EfficientNet variants on the three device types at batch size one.
+func Fig1a() []Fig1aRow {
+	var eff models.Family
+	for _, f := range models.Zoo() {
+		if f.Name == "efficientnet" {
+			eff = f
+		}
+	}
+	var rows []Fig1aRow
+	for _, dt := range cluster.KnownTypes() {
+		spec := cluster.Spec(dt)
+		for _, v := range eff.Variants {
+			rows = append(rows, Fig1aRow{
+				Device:   dt,
+				Variant:  v.Name,
+				Accuracy: v.Accuracy,
+				QPS:      1 / profiles.Latency(spec, v, 1).Seconds(),
+			})
+		}
+	}
+	return rows
+}
+
+// ConfigPoint is one placement configuration of Figure 1b: a mapping of
+// variants onto devices with its aggregate capacity and capacity-weighted
+// accuracy.
+type ConfigPoint struct {
+	// Assignment[i] is the variant index placed on device i.
+	Assignment []int
+	// CapacityQPS is the summed peak throughput when every device serves
+	// the maximum feasible load without SLO violations (the figure's
+	// assumption).
+	CapacityQPS float64
+	// Accuracy is the capacity-weighted mean accuracy.
+	Accuracy float64
+	// OnFrontier marks Pareto-optimal configurations.
+	OnFrontier bool
+}
+
+// Fig1b reproduces Figure 1b: all 5^5 = 3125 mappings of five EfficientNet
+// variants onto five devices (one CPU, two GTX 1080 Tis, two V100s), with
+// the Pareto frontier marked. Variants used are B0/B2/B4/B5/B7 (five
+// evenly spread members of the family).
+func Fig1b() []ConfigPoint {
+	var eff models.Family
+	for _, f := range models.Zoo() {
+		if f.Name == "efficientnet" {
+			eff = f
+		}
+	}
+	pick := []string{"b0", "b2", "b4", "b5", "b7"}
+	variants := make([]models.Variant, len(pick))
+	for i, name := range pick {
+		v, ok := eff.Variant(name)
+		if !ok {
+			panic("experiments: variant " + name + " missing")
+		}
+		variants[i] = v
+	}
+	devices := []cluster.TypeSpec{
+		cluster.Spec(cluster.CPU),
+		cluster.Spec(cluster.GTX1080Ti),
+		cluster.Spec(cluster.GTX1080Ti),
+		cluster.Spec(cluster.V100),
+		cluster.Spec(cluster.V100),
+	}
+	slo := profiles.FamilySLO(eff, 2)
+
+	// Peak throughput lookup per (device, variant).
+	peak := make([][]float64, len(devices))
+	for d := range devices {
+		peak[d] = make([]float64, len(variants))
+		for m, v := range variants {
+			peak[d][m] = profiles.PeakThroughput(devices[d], v, slo)
+		}
+	}
+
+	n := len(variants)
+	total := 1
+	for range devices {
+		total *= n
+	}
+	points := make([]ConfigPoint, 0, total)
+	assignment := make([]int, len(devices))
+	for idx := 0; idx < total; idx++ {
+		x := idx
+		capQPS, accNum := 0.0, 0.0
+		for d := range devices {
+			assignment[d] = x % n
+			x /= n
+			p := peak[d][assignment[d]]
+			capQPS += p
+			accNum += p * variants[assignment[d]].Accuracy
+		}
+		pt := ConfigPoint{Assignment: append([]int(nil), assignment...), CapacityQPS: capQPS}
+		if capQPS > 0 {
+			pt.Accuracy = accNum / capQPS
+		}
+		points = append(points, pt)
+	}
+	markPareto(points)
+	return points
+}
+
+// markPareto flags the points not dominated in (capacity, accuracy).
+func markPareto(points []ConfigPoint) {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := points[order[a]], points[order[b]]
+		if pa.CapacityQPS != pb.CapacityQPS {
+			return pa.CapacityQPS > pb.CapacityQPS
+		}
+		return pa.Accuracy > pb.Accuracy
+	})
+	bestAcc := -1.0
+	for _, i := range order {
+		if points[i].Accuracy > bestAcc {
+			points[i].OnFrontier = true
+			bestAcc = points[i].Accuracy
+		}
+	}
+}
+
+// ParetoFrontier filters the Fig1b points down to the frontier, sorted by
+// capacity.
+func ParetoFrontier(points []ConfigPoint) []ConfigPoint {
+	var out []ConfigPoint
+	for _, p := range points {
+		if p.OnFrontier {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].CapacityQPS < out[b].CapacityQPS })
+	return out
+}

@@ -1,0 +1,199 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs with bounded variables:
+//
+//	maximize    cᵀx
+//	subject to  a_iᵀx (≤ | = | ≥) b_i   for each constraint i
+//	            lo_j ≤ x_j ≤ hi_j       for each variable j
+//
+// It is the LP engine underneath the branch-and-bound MILP solver in
+// internal/milp, standing in for the commercial solver (Gurobi) used by the
+// Proteus paper. The implementation keeps an explicit tableau, supports
+// finite lower bounds (shifted to zero internally) and finite or infinite
+// upper bounds natively (bounded-variable simplex, so x ≤ u never costs a
+// row), and falls back from Dantzig to Bland's rule to escape degenerate
+// cycling.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // a·x ≤ b
+	GE                 // a·x ≥ b
+	EQ                 // a·x = b
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create one with NewProblem.
+type Problem struct {
+	names []string
+	lo    []float64
+	hi    []float64
+	obj   []float64
+
+	rows []row
+}
+
+type row struct {
+	terms []Term
+	rel   Relation
+	rhs   float64
+}
+
+// NewProblem returns an empty maximization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable adds a variable with bounds [lo, hi] and returns its column
+// index. lo must be finite; hi may be math.Inf(1). It panics on invalid
+// bounds, which indicate a programming error in the model builder.
+func (p *Problem) AddVariable(name string, lo, hi float64) int {
+	if math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: invalid lower bound for %q: [%v, %v]", name, lo, hi))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("lp: empty bound interval for %q: [%v, %v]", name, lo, hi))
+	}
+	p.names = append(p.names, name)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.obj = append(p.obj, 0)
+	return len(p.names) - 1
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.names) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// VarName returns the name given to variable v.
+func (p *Problem) VarName(v int) string { return p.names[v] }
+
+// Bounds returns the bound interval of variable v.
+func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lo[v], p.hi[v] }
+
+// SetBounds replaces the bound interval of variable v. It is used by the
+// MILP solver to branch without rebuilding the problem.
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	if hi < lo {
+		panic(fmt.Sprintf("lp: empty bound interval for %q: [%v, %v]", p.names[v], lo, hi))
+	}
+	p.lo[v] = lo
+	p.hi[v] = hi
+}
+
+// SetObjective sets the objective coefficient of variable v (maximization).
+func (p *Problem) SetObjective(v int, c float64) { p.obj[v] = c }
+
+// Objective returns the objective coefficient of variable v.
+func (p *Problem) Objective(v int) float64 { return p.obj[v] }
+
+// AddConstraint appends the constraint Σ terms (rel) rhs and returns its row
+// index. Terms referencing the same variable are summed.
+func (p *Problem) AddConstraint(terms []Term, rel Relation, rhs float64) int {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.names) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
+		}
+	}
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.rows = append(p.rows, row{terms: cp, rel: rel, rhs: rhs})
+	return len(p.rows) - 1
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64 // value per variable, valid when Status == Optimal
+	Iters     int
+}
+
+// Options tune the solver. The zero value selects defaults.
+type Options struct {
+	// MaxIters bounds total simplex pivots across both phases.
+	// Default 50_000.
+	MaxIters int
+	// Tol is the numerical tolerance. Default 1e-9.
+	Tol float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MaxIters: 50_000, Tol: 1e-9}
+	if o != nil {
+		if o.MaxIters > 0 {
+			out.MaxIters = o.MaxIters
+		}
+		if o.Tol > 0 {
+			out.Tol = o.Tol
+		}
+	}
+	return out
+}
+
+// ErrNoVariables is returned when solving a problem with no variables.
+var ErrNoVariables = errors.New("lp: problem has no variables")
+
+// Solve optimizes the problem and returns the solution. The problem itself
+// is not modified. Status Infeasible and Unbounded are reported in the
+// Solution, not as errors; the error return covers malformed inputs only.
+func Solve(p *Problem, opts *Options) (Solution, error) {
+	o := opts.withDefaults()
+	if len(p.names) == 0 {
+		return Solution{}, ErrNoVariables
+	}
+	t := newTableau(p, o)
+	sol := t.solve()
+	return sol, nil
+}

@@ -1,0 +1,436 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18 → x=2, y=6, obj=36.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.SetObjective(x, 3)
+	p.SetObjective(y, 5)
+	p.AddConstraint([]Term{{x, 1}}, LE, 4)
+	p.AddConstraint([]Term{{y, 2}}, LE, 12)
+	p.AddConstraint([]Term{{x, 3}, {y, 2}}, LE, 18)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 36, 1e-6) {
+		t.Fatalf("objective %v, want 36", sol.Objective)
+	}
+	if !approx(sol.X[x], 2, 1e-6) || !approx(sol.X[y], 6, 1e-6) {
+		t.Fatalf("solution %v, want [2 6]", sol.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// max x + 2y s.t. x + y = 10, x - y = 2 → x=6, y=4, obj=14.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.SetObjective(x, 1)
+	p.SetObjective(y, 2)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 10)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, EQ, 2)
+	sol := solveOK(t, p)
+	if !approx(sol.X[x], 6, 1e-6) || !approx(sol.X[y], 4, 1e-6) {
+		t.Fatalf("solution %v, want [6 4]", sol.X)
+	}
+	if !approx(sol.Objective, 14, 1e-6) {
+		t.Fatalf("objective %v", sol.Objective)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// Minimize cost (maximize negative): min 2x + 3y s.t. x + y >= 4,
+	// x + 3y >= 6 → x=3, y=1, cost 9.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.SetObjective(x, -2)
+	p.SetObjective(y, -3)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 4)
+	p.AddConstraint([]Term{{x, 1}, {y, 3}}, GE, 6)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -9, 1e-6) {
+		t.Fatalf("objective %v, want -9", sol.Objective)
+	}
+	if !approx(sol.X[x], 3, 1e-6) || !approx(sol.X[y], 1, 1e-6) {
+		t.Fatalf("solution %v, want [3 1]", sol.X)
+	}
+}
+
+func TestUpperBoundsNative(t *testing.T) {
+	// max x + y with x <= 1.5, y <= 2.5 via variable bounds and
+	// x + y <= 3 as a row → obj 3, on the constraint.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 1.5)
+	y := p.AddVariable("y", 0, 2.5)
+	p.SetObjective(x, 1)
+	p.SetObjective(y, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 3)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 3, 1e-6) {
+		t.Fatalf("objective %v, want 3", sol.Objective)
+	}
+	if sol.X[x] > 1.5+1e-9 || sol.X[y] > 2.5+1e-9 {
+		t.Fatalf("bounds violated: %v", sol.X)
+	}
+}
+
+func TestBoundFlipOnly(t *testing.T) {
+	// max x + y, x,y in [0,2], no rows binding → both at upper bound.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 2)
+	y := p.AddVariable("y", 0, 2)
+	p.SetObjective(x, 1)
+	p.SetObjective(y, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 100)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 4, 1e-6) {
+		t.Fatalf("objective %v, want 4", sol.Objective)
+	}
+}
+
+func TestNonZeroLowerBounds(t *testing.T) {
+	// max -x - y with x >= 2, y >= 3, x + y >= 6 → x+y = 6, obj -6.
+	p := NewProblem()
+	x := p.AddVariable("x", 2, math.Inf(1))
+	y := p.AddVariable("y", 3, math.Inf(1))
+	p.SetObjective(x, -1)
+	p.SetObjective(y, -1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 6)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -6, 1e-6) {
+		t.Fatalf("objective %v, want -6", sol.Objective)
+	}
+	if sol.X[x] < 2-1e-9 || sol.X[y] < 3-1e-9 {
+		t.Fatalf("lower bounds violated: %v", sol.X)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// max x with x in [-5, -1] → -1.
+	p := NewProblem()
+	x := p.AddVariable("x", -5, -1)
+	p.SetObjective(x, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, -5)
+	sol := solveOK(t, p)
+	if !approx(sol.X[x], -1, 1e-9) {
+		t.Fatalf("x = %v, want -1", sol.X[x])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	p.SetObjective(x, 1)
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 2)
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 1)
+	y := p.AddVariable("y", 0, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5)
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.SetObjective(x, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, LE, 1)
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows create redundant artificials that must be
+	// driven out or neutralized without declaring infeasibility.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.SetObjective(x, 2)
+	p.SetObjective(y, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{x, 2}, {y, 2}}, EQ, 8)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 8, 1e-6) {
+		t.Fatalf("objective %v, want 8 (x=4,y=0)", sol.Objective)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x - y <= -4 is x + y >= 4.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10)
+	y := p.AddVariable("y", 0, 10)
+	p.SetObjective(x, -1)
+	p.SetObjective(y, -2)
+	p.AddConstraint([]Term{{x, -1}, {y, -1}}, LE, -4)
+	sol := solveOK(t, p)
+	if !approx(sol.X[x], 4, 1e-6) || !approx(sol.X[y], 0, 1e-6) {
+		t.Fatalf("solution %v, want [4 0]", sol.X)
+	}
+}
+
+func TestDuplicateTermsAreSummed(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	p.SetObjective(x, 1)
+	// x + x <= 6 → x <= 3.
+	p.AddConstraint([]Term{{x, 1}, {x, 1}}, LE, 6)
+	sol := solveOK(t, p)
+	if !approx(sol.X[x], 3, 1e-6) {
+		t.Fatalf("x = %v, want 3", sol.X[x])
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 2, 2) // fixed
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.SetObjective(y, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 7)
+	sol := solveOK(t, p)
+	if !approx(sol.X[x], 2, 1e-9) {
+		t.Fatalf("fixed variable moved: %v", sol.X[x])
+	}
+	if !approx(sol.X[y], 5, 1e-6) {
+		t.Fatalf("y = %v, want 5", sol.X[y])
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// Classic degenerate corner: multiple constraints intersect at optimum.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1))
+	y := p.AddVariable("y", 0, math.Inf(1))
+	p.SetObjective(x, 1)
+	p.SetObjective(y, 1)
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	p.AddConstraint([]Term{{y, 1}}, LE, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 2)
+	p.AddConstraint([]Term{{x, 1}, {y, 2}}, LE, 3)
+	p.AddConstraint([]Term{{x, 2}, {y, 1}}, LE, 3)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 2, 1e-6) {
+		t.Fatalf("objective %v, want 2", sol.Objective)
+	}
+}
+
+func TestBealeCyclingExample(t *testing.T) {
+	// Beale's classic cycling LP (min form, converted to max by negation):
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7
+	// s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+	//      0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+	//      x6 <= 1
+	// Optimal value is -0.05 (max form +0.05).
+	p := NewProblem()
+	x4 := p.AddVariable("x4", 0, math.Inf(1))
+	x5 := p.AddVariable("x5", 0, math.Inf(1))
+	x6 := p.AddVariable("x6", 0, math.Inf(1))
+	x7 := p.AddVariable("x7", 0, math.Inf(1))
+	p.SetObjective(x4, 0.75)
+	p.SetObjective(x5, -150)
+	p.SetObjective(x6, 0.02)
+	p.SetObjective(x7, -6)
+	p.AddConstraint([]Term{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, LE, 0)
+	p.AddConstraint([]Term{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, LE, 0)
+	p.AddConstraint([]Term{{x6, 1}}, LE, 1)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 0.05, 1e-6) {
+		t.Fatalf("objective %v, want 0.05", sol.Objective)
+	}
+}
+
+func TestSolutionSatisfiesConstraints(t *testing.T) {
+	// A moderately sized random-ish LP; verify feasibility of the answer.
+	p := NewProblem()
+	const n = 20
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVariable("v", 0, float64(1+i%5))
+		p.SetObjective(vars[i], float64((i*7)%11)-3)
+	}
+	// Reference point: midpoint of every variable's bounds. Constraint
+	// right-hand sides are derived from it so the LP is feasible by
+	// construction.
+	x0 := make([]float64, n)
+	for i, v := range vars {
+		lo, hi := p.Bounds(v)
+		x0[i] = (lo + hi) / 2
+	}
+	var rows [][]Term
+	var rels []Relation
+	var rhss []float64
+	for i := 0; i < 15; i++ {
+		var terms []Term
+		lhs0 := 0.0
+		for j := 0; j < n; j++ {
+			c := float64((i*j)%7) - 2
+			if c != 0 {
+				terms = append(terms, Term{vars[j], c})
+				lhs0 += c * x0[j]
+			}
+		}
+		rel := []Relation{LE, GE, EQ}[i%3]
+		var rhs float64
+		switch rel {
+		case LE:
+			rhs = lhs0 + float64(i%4)
+		case GE:
+			rhs = lhs0 - float64(i%4)
+		case EQ:
+			rhs = lhs0
+		}
+		p.AddConstraint(terms, rel, rhs)
+		rows, rels, rhss = append(rows, terms), append(rels, rel), append(rhss, rhs)
+	}
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	for i, terms := range rows {
+		lhs := 0.0
+		for _, tm := range terms {
+			lhs += tm.Coef * sol.X[tm.Var]
+		}
+		switch rels[i] {
+		case LE:
+			if lhs > rhss[i]+1e-6 {
+				t.Errorf("row %d: %v <= %v violated", i, lhs, rhss[i])
+			}
+		case GE:
+			if lhs < rhss[i]-1e-6 {
+				t.Errorf("row %d: %v >= %v violated", i, lhs, rhss[i])
+			}
+		case EQ:
+			if math.Abs(lhs-rhss[i]) > 1e-6 {
+				t.Errorf("row %d: %v = %v violated", i, lhs, rhss[i])
+			}
+		}
+	}
+	for j, v := range vars {
+		lo, hi := p.Bounds(v)
+		if sol.X[v] < lo-1e-9 || sol.X[v] > hi+1e-9 {
+			t.Errorf("variable %d out of bounds: %v not in [%v,%v]", j, sol.X[v], lo, hi)
+		}
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 suppliers (cap 20, 30) x 3 consumers (demand 10, 25, 15);
+	// costs: s1: 2,3,1  s2: 5,4,8. Minimize cost.
+	// Optimum: s1→c3 15, s1→c1 5, s2→c1 5, s2→c2 25 → cost 150.
+	p := NewProblem()
+	x := make([][]int, 2)
+	costs := [][]float64{{2, 3, 1}, {5, 4, 8}}
+	for i := range x {
+		x[i] = make([]int, 3)
+		for j := range x[i] {
+			x[i][j] = p.AddVariable("x", 0, math.Inf(1))
+			p.SetObjective(x[i][j], -costs[i][j])
+		}
+	}
+	p.AddConstraint([]Term{{x[0][0], 1}, {x[0][1], 1}, {x[0][2], 1}}, LE, 20)
+	p.AddConstraint([]Term{{x[1][0], 1}, {x[1][1], 1}, {x[1][2], 1}}, LE, 30)
+	for j := 0; j < 3; j++ {
+		p.AddConstraint([]Term{{x[0][j], 1}, {x[1][j], 1}}, EQ, []float64{10, 25, 15}[j])
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -150, 1e-6) {
+		t.Fatalf("objective %v, want -150", sol.Objective)
+	}
+}
+
+func TestNoVariables(t *testing.T) {
+	p := NewProblem()
+	if _, err := Solve(p, nil); err == nil {
+		t.Fatal("expected error for empty problem")
+	}
+}
+
+func TestSetBounds(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 10)
+	p.SetObjective(x, 1)
+	p.AddConstraint([]Term{{x, 1}}, LE, 100)
+	sol := solveOK(t, p)
+	if !approx(sol.X[x], 10, 1e-9) {
+		t.Fatalf("x = %v", sol.X[x])
+	}
+	p.SetBounds(x, 0, 4)
+	sol = solveOK(t, p)
+	if !approx(sol.X[x], 4, 1e-9) {
+		t.Fatalf("after SetBounds x = %v", sol.X[x])
+	}
+}
+
+func TestAddVariablePanics(t *testing.T) {
+	p := NewProblem()
+	for _, c := range []struct{ lo, hi float64 }{
+		{math.Inf(-1), 0},
+		{1, 0},
+		{math.NaN(), 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddVariable(%v, %v) did not panic", c.lo, c.hi)
+				}
+			}()
+			p.AddVariable("bad", c.lo, c.hi)
+		}()
+	}
+}
+
+func TestRelationAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Relation strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" {
+		t.Fatal("Status strings wrong")
+	}
+}

@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/numeric"
+)
+
+// TestPropertySolutionsFeasible generates random LPs that are feasible by
+// construction (right-hand sides derived from a random interior point) and
+// checks that every Optimal solution satisfies all constraints and bounds.
+func TestPropertySolutionsFeasible(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := numeric.NewRNG(seed)
+		n := 2 + rng.Intn(12)
+		m := 1 + rng.Intn(10)
+		p := NewProblem()
+		vars := make([]int, n)
+		x0 := make([]float64, n)
+		for i := range vars {
+			lo := math.Floor(rng.Float64()*10 - 5)
+			span := 1 + rng.Float64()*10
+			hi := lo + span
+			if rng.Float64() < 0.2 {
+				hi = math.Inf(1)
+			}
+			vars[i] = p.AddVariable("v", lo, hi)
+			if math.IsInf(hi, 1) {
+				x0[i] = lo + rng.Float64()*5
+			} else {
+				x0[i] = lo + rng.Float64()*(hi-lo)
+			}
+			p.SetObjective(vars[i], rng.Float64()*10-5)
+		}
+		type rowSpec struct {
+			terms []Term
+			rel   Relation
+			rhs   float64
+		}
+		var rows []rowSpec
+		for r := 0; r < m; r++ {
+			var terms []Term
+			lhs0 := 0.0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.4 {
+					continue
+				}
+				c := math.Floor(rng.Float64()*9 - 4)
+				if c == 0 {
+					continue
+				}
+				terms = append(terms, Term{Var: vars[i], Coef: c})
+				lhs0 += c * x0[i]
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			rel := []Relation{LE, GE, EQ}[rng.Intn(3)]
+			rhs := lhs0
+			switch rel {
+			case LE:
+				rhs += rng.Float64() * 3
+			case GE:
+				rhs -= rng.Float64() * 3
+			}
+			p.AddConstraint(terms, rel, rhs)
+			rows = append(rows, rowSpec{terms, rel, rhs})
+		}
+		sol, err := Solve(p, nil)
+		if err != nil {
+			return false
+		}
+		if sol.Status == Unbounded {
+			return true // possible with infinite upper bounds; fine
+		}
+		if sol.Status != Optimal {
+			// Feasible by construction, so anything else is a solver bug.
+			return false
+		}
+		const tol = 1e-5
+		for _, row := range rows {
+			lhs := 0.0
+			for _, tm := range row.terms {
+				lhs += tm.Coef * sol.X[tm.Var]
+			}
+			switch row.rel {
+			case LE:
+				if lhs > row.rhs+tol {
+					return false
+				}
+			case GE:
+				if lhs < row.rhs-tol {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-row.rhs) > tol {
+					return false
+				}
+			}
+		}
+		for _, v := range vars {
+			lo, hi := p.Bounds(v)
+			if sol.X[v] < lo-tol || sol.X[v] > hi+tol {
+				return false
+			}
+		}
+		// The optimum cannot be worse than the known feasible point.
+		obj0 := 0.0
+		for i, v := range vars {
+			obj0 += p.Objective(v) * x0[i]
+		}
+		return sol.Objective >= obj0-1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

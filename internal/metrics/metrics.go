@@ -1,0 +1,236 @@
+// Package metrics implements the evaluation metrics of the paper (§6.1.4):
+// throughput (QPS served), effective accuracy (mean accuracy of
+// successfully served queries), maximum accuracy drop over the trace, and
+// SLO violation ratio — both as whole-run summaries and per-interval time
+// series (the timeseries panels of Figures 4, 5, 7 and 9), with per-family
+// breakdowns (Figure 9).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Collector accumulates query outcomes into fixed-width time bins. It is
+// not safe for concurrent use; the simulator is single-threaded and the
+// live serving layer wraps it in a mutex.
+type Collector struct {
+	interval time.Duration
+	families []string
+	bins     []*bin
+}
+
+type bin struct {
+	arrivals []int
+	served   []int // completed within SLO
+	late     []int // completed after the deadline
+	dropped  []int // never completed
+	accSum   []float64
+	// latSum accumulates response latency of completed queries (served+late).
+	latSum time.Duration
+	nDone  int
+}
+
+// NewCollector returns a collector with the given bin width and family
+// names (family index space matches the trace/router).
+func NewCollector(interval time.Duration, families []string) *Collector {
+	if interval <= 0 {
+		panic("metrics: interval must be positive")
+	}
+	return &Collector{interval: interval, families: append([]string(nil), families...)}
+}
+
+// Interval returns the bin width.
+func (c *Collector) Interval() time.Duration { return c.interval }
+
+// Families returns the family names.
+func (c *Collector) Families() []string { return c.families }
+
+func (c *Collector) binAt(t time.Duration) *bin {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / c.interval)
+	for len(c.bins) <= idx {
+		n := len(c.families)
+		c.bins = append(c.bins, &bin{
+			arrivals: make([]int, n),
+			served:   make([]int, n),
+			late:     make([]int, n),
+			dropped:  make([]int, n),
+			accSum:   make([]float64, n),
+		})
+	}
+	return c.bins[idx]
+}
+
+func (c *Collector) checkFamily(f int) {
+	if f < 0 || f >= len(c.families) {
+		panic(fmt.Sprintf("metrics: family index %d out of range [0,%d)", f, len(c.families)))
+	}
+}
+
+// Arrival records a query arrival of family f at time t.
+func (c *Collector) Arrival(t time.Duration, f int) {
+	c.checkFamily(f)
+	c.binAt(t).arrivals[f]++
+}
+
+// Served records a query of family f completing within its SLO at time t
+// with the given model accuracy and end-to-end latency.
+func (c *Collector) Served(t time.Duration, f int, accuracy float64, latency time.Duration) {
+	c.checkFamily(f)
+	b := c.binAt(t)
+	b.served[f]++
+	b.accSum[f] += accuracy
+	b.latSum += latency
+	b.nDone++
+}
+
+// Late records a query of family f completing after its deadline at time t.
+// Late completions count as SLO violations, not as successful service.
+func (c *Collector) Late(t time.Duration, f int, latency time.Duration) {
+	c.checkFamily(f)
+	b := c.binAt(t)
+	b.late[f]++
+	b.latSum += latency
+	b.nDone++
+}
+
+// Dropped records a query of family f dropped (never executed) at time t.
+func (c *Collector) Dropped(t time.Duration, f int) {
+	c.checkFamily(f)
+	c.binAt(t).dropped[f]++
+}
+
+// Bins returns the number of time bins recorded so far.
+func (c *Collector) Bins() int { return len(c.bins) }
+
+// Point is one bin of the exported time series.
+type Point struct {
+	Start time.Duration
+	// DemandQPS is the arrival rate during the bin.
+	DemandQPS float64
+	// ThroughputQPS is the rate of queries served within SLO.
+	ThroughputQPS float64
+	// EffectiveAccuracy is the mean accuracy of served queries (NaN when
+	// the bin served none).
+	EffectiveAccuracy float64
+	// Violations counts late plus dropped queries in the bin.
+	Violations int
+}
+
+// Series exports the overall per-bin time series. A negative family selects
+// the aggregate over all families.
+func (c *Collector) Series(family int) []Point {
+	sec := c.interval.Seconds()
+	out := make([]Point, len(c.bins))
+	for i, b := range c.bins {
+		var arr, served, late, dropped int
+		var acc float64
+		for f := range c.families {
+			if family >= 0 && f != family {
+				continue
+			}
+			arr += b.arrivals[f]
+			served += b.served[f]
+			late += b.late[f]
+			dropped += b.dropped[f]
+			acc += b.accSum[f]
+		}
+		p := Point{
+			Start:         time.Duration(i) * c.interval,
+			DemandQPS:     float64(arr) / sec,
+			ThroughputQPS: float64(served) / sec,
+			Violations:    late + dropped,
+		}
+		if served > 0 {
+			p.EffectiveAccuracy = acc / float64(served)
+		} else {
+			p.EffectiveAccuracy = math.NaN()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Summary aggregates a whole run, matching §6.1.4.
+type Summary struct {
+	Queries       int
+	Served        int
+	Late          int
+	Dropped       int
+	AvgThroughput float64 // QPS served over the run
+	AvgDemand     float64 // QPS arrived over the run
+	// EffectiveAccuracy is the mean accuracy of all served queries.
+	EffectiveAccuracy float64
+	// MaxAccuracyDrop is 100 minus the minimum per-bin effective accuracy
+	// (bins that served nothing are skipped), per §6.1.4.
+	MaxAccuracyDrop float64
+	// ViolationRatio is (late + dropped) / arrivals.
+	ViolationRatio float64
+	// MeanLatency is the mean completion latency of executed queries.
+	MeanLatency time.Duration
+}
+
+// Summarize computes the run summary. A negative family selects the
+// aggregate over all families.
+func (c *Collector) Summarize(family int) Summary {
+	var s Summary
+	var accSum float64
+	minBinAcc := math.Inf(1)
+	var latSum time.Duration
+	var nDone int
+	for _, b := range c.bins {
+		var binServed int
+		var binAcc float64
+		for f := range c.families {
+			if family >= 0 && f != family {
+				continue
+			}
+			s.Queries += b.arrivals[f]
+			s.Served += b.served[f]
+			s.Late += b.late[f]
+			s.Dropped += b.dropped[f]
+			accSum += b.accSum[f]
+			binServed += b.served[f]
+			binAcc += b.accSum[f]
+		}
+		if binServed > 0 {
+			if a := binAcc / float64(binServed); a < minBinAcc {
+				minBinAcc = a
+			}
+		}
+		if family < 0 {
+			latSum += b.latSum
+			nDone += b.nDone
+		}
+	}
+	dur := time.Duration(len(c.bins)) * c.interval
+	if dur > 0 {
+		s.AvgThroughput = float64(s.Served) / dur.Seconds()
+		s.AvgDemand = float64(s.Queries) / dur.Seconds()
+	}
+	if s.Served > 0 {
+		s.EffectiveAccuracy = accSum / float64(s.Served)
+	}
+	if !math.IsInf(minBinAcc, 1) {
+		s.MaxAccuracyDrop = 100 - minBinAcc
+	}
+	if s.Queries > 0 {
+		s.ViolationRatio = float64(s.Late+s.Dropped) / float64(s.Queries)
+	}
+	if nDone > 0 {
+		s.MeanLatency = latSum / time.Duration(nDone)
+	}
+	return s
+}
+
+// String formats the summary for reports.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"queries=%d served=%d late=%d dropped=%d tput=%.1fqps acc=%.2f%% maxdrop=%.2f%% violations=%.4f",
+		s.Queries, s.Served, s.Late, s.Dropped, s.AvgThroughput,
+		s.EffectiveAccuracy, s.MaxAccuracyDrop, s.ViolationRatio)
+}

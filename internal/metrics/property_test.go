@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"proteus/internal/numeric"
+)
+
+// TestPropertyConservation replays random event streams and checks the
+// accounting identities: arrivals split exactly into served + late +
+// dropped (when every arrival is resolved), per-family summaries sum to
+// the aggregate, and series totals match the summary.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := numeric.NewRNG(seed)
+		nf := 1 + rng.Intn(4)
+		fams := make([]string, nf)
+		for i := range fams {
+			fams[i] = string(rune('a' + i))
+		}
+		c := NewCollector(time.Second, fams)
+		type outcome int
+		var served, late, dropped int
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			fam := rng.Intn(nf)
+			at := time.Duration(rng.Intn(60000)) * time.Millisecond
+			c.Arrival(at, fam)
+			done := at + time.Duration(rng.Intn(500))*time.Millisecond
+			switch outcome(rng.Intn(3)) {
+			case 0:
+				c.Served(done, fam, 80+rng.Float64()*20, done-at)
+				served++
+			case 1:
+				c.Late(done, fam, done-at)
+				late++
+			case 2:
+				c.Dropped(done, fam)
+				dropped++
+			}
+		}
+		s := c.Summarize(-1)
+		if s.Queries != n || s.Served != served || s.Late != late || s.Dropped != dropped {
+			return false
+		}
+		// Per-family sums equal the aggregate.
+		var fq, fs, fl, fd int
+		for q := 0; q < nf; q++ {
+			ps := c.Summarize(q)
+			fq += ps.Queries
+			fs += ps.Served
+			fl += ps.Late
+			fd += ps.Dropped
+		}
+		if fq != n || fs != served || fl != late || fd != dropped {
+			return false
+		}
+		// Series totals match.
+		var seriesViol int
+		var seriesServed float64
+		for _, p := range c.Series(-1) {
+			seriesViol += p.Violations
+			seriesServed += p.ThroughputQPS * c.Interval().Seconds()
+		}
+		if seriesViol != late+dropped {
+			return false
+		}
+		if math.Abs(seriesServed-float64(served)) > 1e-6 {
+			return false
+		}
+		// Effective accuracy stays in the accuracy range when anything was
+		// served.
+		if served > 0 && (s.EffectiveAccuracy < 80-1e-9 || s.EffectiveAccuracy > 100+1e-9) {
+			return false
+		}
+		return s.ViolationRatio >= 0 && s.ViolationRatio <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

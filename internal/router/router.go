@@ -1,0 +1,228 @@
+// Package router implements the data-path half of a Proteus load balancer
+// (§3): a request router that dispatches each query to a worker according
+// to the controller's query-assignment policy {y_{d,q}}, and a monitoring
+// daemon that tracks per-family demand and detects bursts that warrant an
+// early re-allocation.
+package router
+
+import (
+	"math"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/numeric"
+)
+
+// Table is a routing table: normalized per-family device weights plus an
+// admission fraction. The lookup path is O(number of devices serving the
+// family); its space is O(D×Q) as §6.8 notes.
+type Table struct {
+	// devices[q] lists device IDs with positive weight for family q.
+	devices [][]int
+	// weights[q][i] is the normalized probability of devices[q][i].
+	weights [][]float64
+	// admit[q] is the fraction of family q's queries admitted; the rest are
+	// shed at the load balancer. When the allocation provisions the full
+	// demand this is 1; under overload it equals the plan's per-family
+	// serving fraction, so workers see exactly the load the resource
+	// manager sized them for instead of drowning in doomed queries.
+	admit []float64
+}
+
+// BuildTable derives a routing table from an allocation. Weights are
+// normalized per family; the admission fraction defaults to the plan row's
+// sum (capped at 1).
+func BuildTable(alloc *allocator.Allocation, families int) *Table {
+	t := &Table{
+		devices: make([][]int, families),
+		weights: make([][]float64, families),
+		admit:   make([]float64, families),
+	}
+	for q := 0; q < families; q++ {
+		row := alloc.Routing[q]
+		sum := 0.0
+		for _, y := range row {
+			if y > 0 {
+				sum += y
+			}
+		}
+		if sum <= 0 {
+			continue
+		}
+		t.admit[q] = sum
+		if t.admit[q] > 1 {
+			t.admit[q] = 1
+		}
+		for d, y := range row {
+			if y > 0 {
+				t.devices[q] = append(t.devices[q], d)
+				t.weights[q] = append(t.weights[q], y/sum)
+			}
+		}
+	}
+	return t
+}
+
+// SetAdmission overrides the per-family admission fractions (used when the
+// table is rebuilt over a subset of available devices but admission should
+// still follow the full plan).
+func (t *Table) SetAdmission(admit []float64) {
+	for q := range t.admit {
+		if q < len(admit) {
+			a := admit[q]
+			if a > 1 {
+				a = 1
+			}
+			if a < 0 {
+				a = 0
+			}
+			t.admit[q] = a
+		}
+	}
+}
+
+// Admission returns the admission fraction for family q.
+func (t *Table) Admission(q int) float64 {
+	if q < 0 || q >= len(t.admit) {
+		return 0
+	}
+	return t.admit[q]
+}
+
+// Pick selects a device for a query of family q, or -1 when the family has
+// no serving devices or the query is shed by admission control.
+func (t *Table) Pick(q int, rng *numeric.RNG) int {
+	if q < 0 || q >= len(t.devices) || len(t.devices[q]) == 0 {
+		return -1
+	}
+	if t.admit[q] < 1 && rng.Float64() >= t.admit[q] {
+		return -1
+	}
+	i := numeric.WeightedChoice(rng, t.weights[q])
+	if i < 0 {
+		return -1
+	}
+	return t.devices[q][i]
+}
+
+// Devices returns the devices serving family q.
+func (t *Table) Devices(q int) []int {
+	if q < 0 || q >= len(t.devices) {
+		return nil
+	}
+	return t.devices[q]
+}
+
+// Entries returns the total number of (family, device) routing entries.
+func (t *Table) Entries() int {
+	n := 0
+	for _, d := range t.devices {
+		n += len(d)
+	}
+	return n
+}
+
+// Monitor is a load balancer's monitoring daemon for one family (§3): it
+// counts arrivals in one-second buckets, estimates demand over a sliding
+// window, and flags bursts where the instantaneous rate exceeds the planned
+// serving capacity by a configurable factor.
+type Monitor struct {
+	// WindowSeconds is the demand-estimation window (default 30, the
+	// control period).
+	WindowSeconds int
+	// BurstFactor is the burst threshold multiplier over planned capacity
+	// (default 1.5).
+	BurstFactor float64
+
+	buckets []int
+	// bucketAt[i] is the absolute second index stored in buckets[i].
+	bucketAt []int64
+	planned  float64
+}
+
+// NewMonitor returns a monitor with the given window.
+func NewMonitor(windowSeconds int, burstFactor float64) *Monitor {
+	if windowSeconds < 1 {
+		windowSeconds = 1
+	}
+	if burstFactor <= 0 {
+		burstFactor = 1.5
+	}
+	return &Monitor{
+		WindowSeconds: windowSeconds,
+		BurstFactor:   burstFactor,
+		buckets:       make([]int, windowSeconds+1),
+		bucketAt:      make([]int64, windowSeconds+1),
+	}
+}
+
+// SetPlanned records the serving capacity of the current allocation for
+// this family, used by burst detection.
+func (m *Monitor) SetPlanned(qps float64) { m.planned = qps }
+
+// Planned returns the last planned capacity.
+func (m *Monitor) Planned() float64 { return m.planned }
+
+// Observe records one arrival at time t.
+func (m *Monitor) Observe(t time.Duration) {
+	sec := int64(t / time.Second)
+	i := sec % int64(len(m.buckets))
+	if m.bucketAt[i] != sec {
+		m.bucketAt[i] = sec
+		m.buckets[i] = 0
+	}
+	m.buckets[i]++
+}
+
+// Rate estimates the demand in QPS over the window ending at t, excluding
+// the (partial) current second.
+func (m *Monitor) Rate(t time.Duration) float64 {
+	cur := int64(t / time.Second)
+	total := 0
+	for s := cur - int64(m.WindowSeconds); s < cur; s++ {
+		if s < 0 {
+			continue
+		}
+		i := s % int64(len(m.buckets))
+		if m.bucketAt[i] == s {
+			total += m.buckets[i]
+		}
+	}
+	secs := m.WindowSeconds
+	if int64(secs) > cur {
+		secs = int(cur)
+	}
+	if secs <= 0 {
+		return 0
+	}
+	return float64(total) / float64(secs)
+}
+
+// InstantRate returns the arrival rate of the last completed second.
+func (m *Monitor) InstantRate(t time.Duration) float64 {
+	sec := int64(t/time.Second) - 1
+	if sec < 0 {
+		return 0
+	}
+	i := sec % int64(len(m.buckets))
+	if m.bucketAt[i] != sec {
+		return 0
+	}
+	return float64(m.buckets[i])
+}
+
+// Burst reports whether the last completed second's demand exceeded the
+// planned capacity by the burst factor — the §3 trigger for calling the
+// controller outside its regular period. A 3σ Poisson-noise floor keeps
+// one-second count fluctuations of low-rate families from masquerading as
+// bursts.
+func (m *Monitor) Burst(t time.Duration) bool {
+	if m.planned <= 0 {
+		return false
+	}
+	threshold := m.BurstFactor * m.planned
+	if noise := 3 * math.Sqrt(m.planned); threshold < m.planned+noise {
+		threshold = m.planned + noise
+	}
+	return m.InstantRate(t) > threshold
+}

@@ -1,0 +1,399 @@
+// Package serving is the live cluster mode of Proteus: the same control
+// plane and data path as the simulator (internal/core), but running on
+// wall-clock time with real concurrency — an HTTP front end per §3's load
+// balancers, goroutine workers whose "hardware executor" sleeps for the
+// profiled batch latency (the model-execution substitution documented in
+// DESIGN.md), and a background controller goroutine re-allocating
+// periodically. The paper's §6.2 reports its simulator matching this kind
+// of deployment within ~1%; BenchmarkSimVsLive repeats that check here.
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/batching"
+	"proteus/internal/cluster"
+	"proteus/internal/controlplane"
+	"proteus/internal/metrics"
+	"proteus/internal/models"
+	"proteus/internal/numeric"
+	"proteus/internal/profiles"
+	"proteus/internal/router"
+)
+
+// Config describes a live serving cluster.
+type Config struct {
+	Cluster       *cluster.Cluster
+	Families      []models.Family
+	SLOMultiplier float64
+	Allocator     allocator.Allocator
+	Batching      batching.Factory
+	ControlPeriod time.Duration
+	Headroom      float64
+	// ModelLoadDelay is how long a worker is unavailable when switching
+	// variants. Default 500ms (kept short for live experiments).
+	ModelLoadDelay time.Duration
+	// ExecNoiseFrac adds multiplicative Gaussian noise to executed batch
+	// latencies, mimicking real hardware variance. Default 0.02.
+	ExecNoiseFrac float64
+	// MetricsInterval is the collector bin width. Default 1s.
+	MetricsInterval time.Duration
+	// InitialDemand pre-provisions the cluster for the expected per-family
+	// QPS before any statistics exist (all zeros by default: the system
+	// starts minimal and scales on the first control period).
+	InitialDemand []float64
+	Seed          uint64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Cluster == nil || c.Cluster.Size() == 0 {
+		return c, fmt.Errorf("serving: config needs a cluster")
+	}
+	if len(c.Families) == 0 {
+		return c, fmt.Errorf("serving: config needs families")
+	}
+	if c.Allocator == nil {
+		return c, fmt.Errorf("serving: config needs an allocator")
+	}
+	if c.SLOMultiplier <= 0 {
+		c.SLOMultiplier = 2
+	}
+	if c.Batching == nil {
+		c.Batching = func() batching.Policy { return batching.NewAccScale() }
+	}
+	if c.ControlPeriod <= 0 {
+		c.ControlPeriod = 10 * time.Second
+	}
+	if c.Headroom <= 0 {
+		c.Headroom = 1.05
+	}
+	if c.ModelLoadDelay <= 0 {
+		c.ModelLoadDelay = 500 * time.Millisecond
+	}
+	if c.ExecNoiseFrac < 0 {
+		c.ExecNoiseFrac = 0
+	} else if c.ExecNoiseFrac == 0 {
+		c.ExecNoiseFrac = 0.02
+	}
+	if c.MetricsInterval <= 0 {
+		c.MetricsInterval = time.Second
+	}
+	return c, nil
+}
+
+// Outcome is a query's fate in a response.
+type Outcome string
+
+// Query outcomes.
+const (
+	OutcomeServed  Outcome = "served"
+	OutcomeLate    Outcome = "late"
+	OutcomeDropped Outcome = "dropped"
+)
+
+// Response is the JSON reply of the inference endpoint.
+type Response struct {
+	Outcome   Outcome `json:"outcome"`
+	Variant   string  `json:"variant,omitempty"`
+	Accuracy  float64 `json:"accuracy,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+	Family    string  `json:"family"`
+}
+
+// Server is the assembled live cluster.
+type Server struct {
+	cfg   Config
+	slos  []time.Duration
+	start time.Time
+
+	mu        sync.Mutex
+	rng       *numeric.RNG
+	table     *router.Table
+	plan      *allocator.Allocation
+	stats     *controlplane.Stats
+	collector *metrics.Collector
+	byName    map[string]int
+
+	controller *controlplane.Controller
+	workers    []*liveWorker
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewServer assembles and starts the cluster: the initial allocation is
+// solved synchronously (for idle demand), workers spin up, and the
+// controller loop begins.
+func NewServer(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		start:  time.Now(),
+		rng:    numeric.NewRNG(cfg.Seed),
+		byName: make(map[string]int),
+		stop:   make(chan struct{}),
+	}
+	for q, f := range cfg.Families {
+		s.byName[f.Name] = q
+		s.slos = append(s.slos, profiles.FamilySLO(f, cfg.SLOMultiplier))
+	}
+	s.collector = metrics.NewCollector(cfg.MetricsInterval, models.FamilyNames(cfg.Families))
+	s.stats = controlplane.NewStats(len(cfg.Families), int(cfg.ControlPeriod/time.Second), 1.5)
+	s.controller = controlplane.NewController(
+		cfg.Allocator, cfg.Cluster, cfg.Families, s.slos, cfg.ControlPeriod, cfg.ControlPeriod/3)
+
+	for _, dev := range cfg.Cluster.Devices() {
+		w := newLiveWorker(s, dev, cfg.Batching())
+		s.workers = append(s.workers, w)
+	}
+
+	initial := make([]float64, len(cfg.Families))
+	for q := range initial {
+		if q < len(cfg.InitialDemand) {
+			initial[q] = cfg.InitialDemand[q] * cfg.Headroom
+		}
+	}
+	plan, err := s.controller.Reallocate(0, initial, "initial")
+	if err != nil {
+		return nil, fmt.Errorf("serving: initial allocation: %w", err)
+	}
+	s.applyPlan(plan, true)
+
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go w.loop(&s.wg)
+	}
+	s.wg.Add(1)
+	go s.controlLoop()
+	return s, nil
+}
+
+// Close stops the workers and the controller loop.
+func (s *Server) Close() {
+	close(s.stop)
+	for _, w := range s.workers {
+		w.shutdown()
+	}
+	s.wg.Wait()
+}
+
+// now returns the elapsed run time (all internal timestamps are durations
+// since server start, matching the simulator's time base).
+func (s *Server) now() time.Duration { return time.Since(s.start) }
+
+func (s *Server) controlLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ControlPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			now := s.now()
+			s.mu.Lock()
+			demand := s.stats.Estimates(now)
+			changed := s.controller.DemandChanged(demand, 0.1)
+			s.mu.Unlock()
+			if !s.controller.Dynamic() || !changed {
+				continue
+			}
+			for q := range demand {
+				demand[q] *= s.cfg.Headroom
+			}
+			plan, err := s.controller.Reallocate(now, demand, "periodic")
+			if err != nil {
+				continue // keep serving on the old plan
+			}
+			s.applyPlan(plan, false)
+		}
+	}
+}
+
+// applyPlan installs a new allocation on the live workers.
+func (s *Server) applyPlan(plan *allocator.Allocation, initial bool) {
+	s.mu.Lock()
+	s.plan = plan
+	s.stats.SetPlanned(plan.ServedQPS)
+	s.mu.Unlock()
+	var rerouted []liveQuery
+	for d, w := range s.workers {
+		if plan.HostedID(d) == w.hostedID() {
+			continue
+		}
+		delay := s.cfg.ModelLoadDelay
+		if initial {
+			delay = 0
+		}
+		rerouted = append(rerouted, w.setHosted(plan.Hosted[d], delay)...)
+	}
+	s.rebuildTable()
+	for _, q := range rerouted {
+		s.dispatch(q)
+	}
+}
+
+// rebuildTable rebuilds the routing table from the current plan, excluding
+// workers that are still loading.
+func (s *Server) rebuildTable() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	masked := allocator.Allocation{
+		Hosted:  s.plan.Hosted,
+		Routing: make([][]float64, len(s.plan.Routing)),
+	}
+	admit := make([]float64, len(s.plan.Routing))
+	for q, row := range s.plan.Routing {
+		masked.Routing[q] = make([]float64, len(row))
+		for d, y := range row {
+			if y <= 0 {
+				continue
+			}
+			admit[q] += y
+			if s.workers[d].loadingPast(now) {
+				continue
+			}
+			masked.Routing[q][d] = y
+		}
+	}
+	s.table = router.BuildTable(&masked, len(s.cfg.Families))
+	s.table.SetAdmission(admit)
+}
+
+// Infer serves one query synchronously: routed, queued, batched, executed.
+func (s *Server) Infer(family string) Response {
+	q, ok := s.byName[family]
+	if !ok {
+		return Response{Outcome: OutcomeDropped, Family: family}
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.stats.Observe(now, q)
+	s.collector.Arrival(now, q)
+	d := s.table.Pick(q, s.rng)
+	s.mu.Unlock()
+
+	lq := liveQuery{
+		family:   q,
+		arrival:  now,
+		deadline: now + s.slos[q],
+		done:     make(chan Response, 1),
+	}
+	if d < 0 {
+		s.recordDrop(lq)
+		return <-lq.done
+	}
+	s.workers[d].enqueue(lq)
+	return <-lq.done
+}
+
+func (s *Server) dispatch(q liveQuery) {
+	s.mu.Lock()
+	d := s.table.Pick(q.family, s.rng)
+	s.mu.Unlock()
+	if d < 0 {
+		s.recordDrop(q)
+		return
+	}
+	s.workers[d].enqueue(q)
+}
+
+func (s *Server) recordDrop(q liveQuery) {
+	now := s.now()
+	s.mu.Lock()
+	s.collector.Dropped(now, q.family)
+	s.mu.Unlock()
+	q.done <- Response{Outcome: OutcomeDropped, Family: s.cfg.Families[q.family].Name,
+		LatencyMS: float64(now-q.arrival) / float64(time.Millisecond)}
+}
+
+func (s *Server) recordCompletion(q liveQuery, variant string, accuracy float64) {
+	now := s.now()
+	latency := now - q.arrival
+	resp := Response{
+		Variant:   variant,
+		Accuracy:  accuracy,
+		Family:    s.cfg.Families[q.family].Name,
+		LatencyMS: float64(latency) / float64(time.Millisecond),
+	}
+	s.mu.Lock()
+	if now <= q.deadline {
+		s.collector.Served(now, q.family, accuracy, latency)
+		resp.Outcome = OutcomeServed
+	} else {
+		s.collector.Late(now, q.family, latency)
+		resp.Outcome = OutcomeLate
+	}
+	s.mu.Unlock()
+	q.done <- resp
+}
+
+// Summary returns the run metrics so far.
+func (s *Server) Summary() metrics.Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collector.Summarize(-1)
+}
+
+// Allocation returns the hosted variant per device of the current plan.
+func (s *Server) Allocation() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string)
+	for d := range s.workers {
+		out[s.cfg.Cluster.Device(d).Name] = s.plan.HostedID(d)
+	}
+	return out
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/query?family=NAME  → Response JSON
+//	GET  /v1/stats              → metrics.Summary JSON
+//	GET  /v1/allocation         → device → variant JSON
+//	GET  /v1/families           → registered family names
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		family := r.URL.Query().Get("family")
+		if family == "" {
+			http.Error(w, "family parameter required", http.StatusBadRequest)
+			return
+		}
+		if _, ok := s.byName[family]; !ok {
+			http.Error(w, "unknown family "+family, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, s.Infer(family))
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Summary())
+	})
+	mux.HandleFunc("/v1/allocation", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Allocation())
+	})
+	mux.HandleFunc("/v1/families", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, models.FamilyNames(s.cfg.Families))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,310 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/cluster"
+	"proteus/internal/models"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	var fams []models.Family
+	for _, f := range models.Zoo() {
+		if f.Name == "mobilenet" || f.Name == "efficientnet" {
+			fams = append(fams, f)
+		}
+	}
+	return Config{
+		Cluster:  cluster.ScaledTestbed(4),
+		Families: fams,
+		Allocator: allocator.NewMILP(&allocator.MILPOptions{
+			TimeLimit: 300 * time.Millisecond, RelGap: 0.01,
+		}),
+		ControlPeriod: 2 * time.Second,
+		InitialDemand: []float64{120, 250}, // efficientnet, mobilenet
+		Seed:          3,
+	}
+}
+
+func TestServeSingleQuery(t *testing.T) {
+	s, err := NewServer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// efficientnet's SLO (~176ms) leaves room for wall-clock jitter when
+	// the test machine is loaded; mobilenet's 52ms SLO does not.
+	resp := s.Infer("efficientnet")
+	if resp.Outcome != OutcomeServed {
+		t.Fatalf("outcome %s, want served (latency %.1fms, variant %s)", resp.Outcome, resp.LatencyMS, resp.Variant)
+	}
+	if resp.Accuracy < 80 || resp.Accuracy > 100 {
+		t.Fatalf("accuracy %v", resp.Accuracy)
+	}
+	if resp.Variant == "" {
+		t.Fatal("variant missing")
+	}
+}
+
+func TestUnknownFamilyDropped(t *testing.T) {
+	s, err := NewServer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if resp := s.Infer("nonexistent"); resp.Outcome != OutcomeDropped {
+		t.Fatalf("outcome %s", resp.Outcome)
+	}
+}
+
+func TestConcurrentLoadMostlyServed(t *testing.T) {
+	s, err := NewServer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 200
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fam := "mobilenet"
+			if i%3 == 0 {
+				fam = "efficientnet"
+			}
+			outcomes[i] = s.Infer(fam).Outcome
+			// Spread arrivals a little.
+		}()
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	served := 0
+	for _, o := range outcomes {
+		if o == OutcomeServed {
+			served++
+		}
+	}
+	if served < n*7/10 {
+		t.Fatalf("only %d/%d served", served, n)
+	}
+	sum := s.Summary()
+	if sum.Queries != n {
+		t.Fatalf("collector saw %d queries, want %d", sum.Queries, n)
+	}
+	if sum.Served != served {
+		t.Fatalf("collector served %d, responses said %d", sum.Served, served)
+	}
+}
+
+func TestBatchingUnderBurst(t *testing.T) {
+	// Fire a burst simultaneously: the worker should batch them (total time
+	// far below n * proc(1)).
+	s, err := NewServer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 16
+	var wg sync.WaitGroup
+	start := time.Now()
+	served := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			served[i] = s.Infer("efficientnet").Outcome == OutcomeServed
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ok := 0
+	for _, v := range served {
+		if v {
+			ok++
+		}
+	}
+	if ok < n/2 {
+		t.Fatalf("burst: only %d/%d served", ok, n)
+	}
+	// Without batching, 16 sequential batch-1 executions would far exceed
+	// one SLO; batched execution should finish the burst well under 2s.
+	if elapsed > 2*time.Second {
+		t.Fatalf("burst took %v; batching ineffective", elapsed)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s, err := NewServer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/query?family=mobilenet", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Family != "mobilenet" || r.Outcome == "" {
+		t.Fatalf("response %+v", r)
+	}
+
+	// Unknown family → 404.
+	resp2, err := http.Post(srv.URL+"/v1/query?family=bogus", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp2.StatusCode)
+	}
+
+	// Missing family → 400.
+	resp3, err := http.Post(srv.URL+"/v1/query", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp3.StatusCode)
+	}
+
+	// GET on query → 405.
+	resp4, err := http.Get(srv.URL + "/v1/query?family=mobilenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp4.StatusCode)
+	}
+
+	// Stats and allocation endpoints.
+	for _, path := range []string{"/v1/stats", "/v1/allocation", "/v1/families"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestAllocationEndpointShowsHostedModels(t *testing.T) {
+	s, err := NewServer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	alloc := s.Allocation()
+	if len(alloc) != 4 {
+		t.Fatalf("allocation has %d devices", len(alloc))
+	}
+	hosted := 0
+	for _, v := range alloc {
+		if v != "" {
+			hosted++
+		}
+	}
+	if hosted == 0 {
+		t.Fatal("no models hosted after initial allocation")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestCloseIsIdempotentForWork(t *testing.T) {
+	s, err := NewServer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Infer("mobilenet")
+	s.Close()
+	// After close, workers are gone; this must not hang forever thanks to
+	// the routing drop path.
+	done := make(chan struct{})
+	go func() {
+		s.Infer("mobilenet")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Infer after Close hung")
+	}
+}
+
+func TestLiveReallocationUnderLoadShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock test")
+	}
+	cfg := testConfig(t)
+	cfg.ControlPeriod = time.Second
+	cfg.InitialDemand = []float64{5, 5} // provisioned for almost nothing
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before := s.Allocation()
+
+	// Sustained load well above the initial provisioning for a few control
+	// periods; the background controller must re-allocate.
+	stop := time.After(3500 * time.Millisecond)
+	var wg sync.WaitGroup
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		default:
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Infer("mobilenet")
+		}()
+		time.Sleep(8 * time.Millisecond) // ~125 QPS
+	}
+	wg.Wait()
+	after := s.Allocation()
+	changed := false
+	for d, v := range after {
+		if before[d] != v {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatalf("no re-allocation despite 25x load shift: before=%v after=%v", before, after)
+	}
+	sum := s.Summary()
+	if sum.Served == 0 {
+		t.Fatal("nothing served during the shift")
+	}
+}

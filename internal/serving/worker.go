@@ -1,0 +1,295 @@
+package serving
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/batching"
+	"proteus/internal/cluster"
+	"proteus/internal/numeric"
+	"proteus/internal/profiles"
+)
+
+// liveQuery is one in-flight query inside the live cluster.
+type liveQuery struct {
+	family   int
+	arrival  time.Duration
+	deadline time.Duration
+	done     chan Response
+}
+
+// liveWorker is the wall-clock counterpart of core's worker: a goroutine
+// owning one device, consulting its batching policy, and "executing"
+// batches by sleeping for the profiled latency. Arrivals and model swaps
+// wake it through a notification channel; non-work-conserving waits are a
+// single timer sleep, interruptible by new arrivals.
+type liveWorker struct {
+	sys    *Server
+	dev    cluster.Device
+	policy batching.Policy
+
+	mu           sync.Mutex
+	queue        []liveQuery
+	hosted       *allocator.VariantRef
+	maxBatch     int
+	memBatch     int
+	loadingUntil time.Duration
+	closed       bool
+	rng          *numeric.RNG
+
+	notify chan struct{}
+	stopc  chan struct{}
+
+	rateEWMA   float64
+	rateBucket int64
+	rateCount  int
+}
+
+func newLiveWorker(s *Server, dev cluster.Device, policy batching.Policy) *liveWorker {
+	return &liveWorker{
+		sys:    s,
+		dev:    dev,
+		policy: policy,
+		rng:    numeric.NewRNG(s.cfg.Seed ^ uint64(dev.ID+1)),
+		notify: make(chan struct{}, 1),
+		stopc:  make(chan struct{}),
+	}
+}
+
+func (w *liveWorker) wake() {
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (w *liveWorker) hostedID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hosted == nil {
+		return ""
+	}
+	return w.hosted.Variant.ID()
+}
+
+func (w *liveWorker) loadingPast(now time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return now < w.loadingUntil
+}
+
+// setHosted swaps the hosted variant, returning the queued queries that
+// must be re-routed elsewhere.
+func (w *liveWorker) setHosted(ref *allocator.VariantRef, loadDelay time.Duration) []liveQuery {
+	w.mu.Lock()
+	requeue := w.queue
+	w.queue = nil
+	w.hosted = ref
+	w.policy.Reset()
+	if ref == nil {
+		w.maxBatch, w.memBatch = 0, 0
+	} else {
+		slo := w.sys.slos[ref.Family]
+		w.maxBatch = profiles.MaxBatch(w.dev.Spec, ref.Variant, slo)
+		w.memBatch = profiles.MaxMemoryBatch(w.dev.Spec, ref.Variant)
+		w.loadingUntil = w.sys.now() + loadDelay
+	}
+	w.mu.Unlock()
+	w.wake()
+	return requeue
+}
+
+func (w *liveWorker) enqueue(q liveQuery) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		w.sys.recordDrop(q)
+		return
+	}
+	w.noteArrival(w.sys.now())
+	w.queue = append(w.queue, q)
+	w.mu.Unlock()
+	w.wake()
+}
+
+func (w *liveWorker) shutdown() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.stopc)
+	}
+	w.mu.Unlock()
+	w.wake()
+}
+
+func (w *liveWorker) noteArrival(now time.Duration) {
+	sec := int64(now / time.Second)
+	if sec != w.rateBucket {
+		const alpha = 0.3
+		w.rateEWMA = alpha*float64(w.rateCount) + (1-alpha)*w.rateEWMA
+		for s := w.rateBucket + 1; s < sec && s-w.rateBucket < 30; s++ {
+			w.rateEWMA *= 1 - alpha
+		}
+		w.rateBucket = sec
+		w.rateCount = 0
+	}
+	w.rateCount++
+}
+
+func (w *liveWorker) arrivalRate() float64 {
+	if float64(w.rateCount) > w.rateEWMA {
+		return float64(w.rateCount)
+	}
+	return w.rateEWMA
+}
+
+// sleepInterruptible sleeps for d, returning early on a wake-up or stop.
+func (w *liveWorker) sleepInterruptible(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-w.notify:
+	case <-w.stopc:
+	}
+}
+
+// loop is the worker goroutine: wait for queries (or a policy wake-up),
+// apply the batching decision, execute batches by sleeping.
+func (w *liveWorker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		w.mu.Lock()
+		if w.closed {
+			pending := w.queue
+			w.queue = nil
+			w.mu.Unlock()
+			for _, q := range pending {
+				w.sys.recordDrop(q)
+			}
+			return
+		}
+		now := w.sys.now()
+		if w.hosted == nil || w.maxBatch < 1 {
+			pending := w.queue
+			w.queue = nil
+			w.mu.Unlock()
+			for _, q := range pending {
+				w.sys.recordDrop(q)
+			}
+			w.idleWait()
+			continue
+		}
+		if now < w.loadingUntil {
+			until := w.loadingUntil - now
+			w.mu.Unlock()
+			time.Sleep(until)
+			w.sys.rebuildTable()
+			continue
+		}
+		if len(w.queue) == 0 {
+			w.mu.Unlock()
+			w.idleWait()
+			continue
+		}
+
+		hosted := *w.hosted
+		pq := make([]batching.Query, len(w.queue))
+		for i, q := range w.queue {
+			pq[i] = batching.Query{ID: uint64(i), Arrival: q.arrival, Deadline: q.deadline}
+		}
+		ctx := batching.Context{
+			Now:      now,
+			Queue:    pq,
+			MaxBatch: w.maxBatch,
+			MemBatch: w.memBatch,
+			ProcTime: func(b int) time.Duration {
+				return profiles.Latency(w.dev.Spec, hosted.Variant, b)
+			},
+			ArrivalRate: w.arrivalRate(),
+		}
+		d := w.policy.Decide(&ctx)
+		var dropped []liveQuery
+		if len(d.Drop) > 0 {
+			di := 0
+			keep := w.queue[:0]
+			for i, q := range w.queue {
+				if di < len(d.Drop) && d.Drop[di] == i {
+					dropped = append(dropped, q)
+					di++
+					continue
+				}
+				keep = append(keep, q)
+			}
+			w.queue = keep
+		}
+		var batch []liveQuery
+		var wait time.Duration
+		switch d.Action {
+		case batching.Execute:
+			b := d.BatchSize
+			if b > len(w.queue) {
+				b = len(w.queue)
+			}
+			batch = make([]liveQuery, b)
+			copy(batch, w.queue[:b])
+			w.queue = append(w.queue[:0], w.queue[b:]...)
+		case batching.Wait:
+			// The simulator can cut waits to the exact T_max_wait edge; on
+			// wall clocks, scheduler jitter would turn that into misses, so
+			// the live worker wakes a few milliseconds early.
+			const jitterMargin = 5 * time.Millisecond
+			wait = d.WakeAt - jitterMargin - now
+		}
+		w.mu.Unlock()
+
+		for _, q := range dropped {
+			w.sys.recordDrop(q)
+		}
+		switch d.Action {
+		case batching.Execute:
+			if len(batch) > 0 {
+				w.executeBatch(hosted, batch)
+			}
+		case batching.Wait:
+			w.sleepInterruptible(wait)
+		case batching.Idle:
+			w.idleWait()
+		}
+	}
+}
+
+// idleWait blocks until an arrival, a model swap, or shutdown.
+func (w *liveWorker) idleWait() {
+	select {
+	case <-w.notify:
+	case <-w.stopc:
+	}
+}
+
+// executeBatch simulates hardware execution: sleep for the profiled batch
+// latency (with noise), then complete every query.
+func (w *liveWorker) executeBatch(hosted allocator.VariantRef, batch []liveQuery) {
+	lat := profiles.Latency(w.dev.Spec, hosted.Variant, len(batch))
+	if w.sys.cfg.ExecNoiseFrac > 0 {
+		w.mu.Lock()
+		noise := 1 + w.sys.cfg.ExecNoiseFrac*w.rng.NormFloat64()
+		w.mu.Unlock()
+		lat = time.Duration(math.Max(0, float64(lat)*noise))
+	}
+	time.Sleep(lat)
+	violations := 0
+	now := w.sys.now()
+	for _, q := range batch {
+		if now > q.deadline {
+			violations++
+		}
+		w.sys.recordCompletion(q, hosted.Variant.ID(), hosted.Variant.Accuracy)
+	}
+	w.policy.Observe(len(batch), violations)
+}

@@ -1,0 +1,161 @@
+package simulation
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("final time %v", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("fired %d", e.Fired())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.After(500*time.Millisecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[1] != 1500*time.Millisecond {
+		t.Fatalf("fired %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(time.Second, func() { ran = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("fired %d", e.Fired())
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	var later *Event
+	e.Schedule(time.Second, func() { later.Cancel() })
+	later = e.Schedule(2*time.Second, func() { ran = true })
+	e.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(500*time.Millisecond, func() {})
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-time.Second, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Fatalf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	e.Schedule(2*time.Second, func() { fired = append(fired, 2) })
+	e.Schedule(3*time.Second, func() { fired = append(fired, 3) })
+	e.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("now %v", e.Now())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 3 || e.Now() != 10*time.Second {
+		t.Fatalf("fired %v now %v", fired, e.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(time.Second, func() {})
+	ev.Cancel()
+	e.RunUntil(5 * time.Second)
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	e := NewEngine()
+	const n = 10000
+	count := 0
+	for i := 0; i < n; i++ {
+		at := time.Duration((i*7919)%n) * time.Millisecond
+		e.Schedule(at, func() { count++ })
+	}
+	prev := time.Duration(-1)
+	for e.Step() {
+		if e.Now() < prev {
+			t.Fatal("time went backwards")
+		}
+		prev = e.Now()
+	}
+	if count != n {
+		t.Fatalf("count %d", count)
+	}
+}

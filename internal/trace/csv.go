@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the trace as CSV: a header row of "second" followed
+// by family names, then one row per second of demand values. This is the
+// interchange format used by cmd/proteus-traces and cmd/proteus-sim.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"second"}, tr.Families...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(tr.Families)+1)
+	for t, demand := range tr.Demand {
+		row[0] = strconv.Itoa(t)
+		for f, v := range demand {
+			row[f+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written with WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "second" {
+		return nil, fmt.Errorf("trace: malformed header %v", header)
+	}
+	tr := &Trace{Families: append([]string(nil), header[1:]...)}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		row := make([]float64, len(tr.Families))
+		for f := range row {
+			v, err := strconv.ParseFloat(rec[f+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d field %d: %w", line, f+1, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("trace: line %d: negative demand %v", line, v)
+			}
+			row[f] = v
+		}
+		tr.Demand = append(tr.Demand, row)
+	}
+	return tr, nil
+}
