@@ -38,6 +38,36 @@ type config struct {
 	Seed            uint64      `json:"seed"`
 	SolverBudgetMS  int         `json:"solver_budget_ms"`
 	Trace           traceConfig `json:"trace"`
+	// Devices overrides cluster_size with an explicit fleet, e.g.
+	// [{"type": "cpu", "count": 4}, {"type": "v100", "count": 2}].
+	// Unknown device types are a config error, not a crash.
+	Devices []deviceConfig `json:"devices"`
+	// Faults optionally injects device failures during the run.
+	Faults *faultConfig `json:"faults"`
+}
+
+type deviceConfig struct {
+	Type  string `json:"type"`
+	Count int    `json:"count"`
+}
+
+// faultConfig selects one of three fault-injection modes: a fractional kill
+// (kill_fraction + fail_at_seconds [+ recover_at_seconds]), explicit events,
+// or seeded random MTBF/MTTR injection.
+type faultConfig struct {
+	KillFraction     float64            `json:"kill_fraction"`
+	FailAtSeconds    float64            `json:"fail_at_seconds"`
+	RecoverAtSeconds float64            `json:"recover_at_seconds"`
+	Events           []faultEventConfig `json:"events"`
+	MTBFSeconds      float64            `json:"mtbf_seconds"`
+	MTTRSeconds      float64            `json:"mttr_seconds"`
+	Seed             uint64             `json:"seed"`
+}
+
+type faultEventConfig struct {
+	Device           int     `json:"device"`
+	FailAtSeconds    float64 `json:"fail_at_seconds"`
+	RecoverAtSeconds float64 `json:"recover_at_seconds"`
 }
 
 type traceConfig struct {
@@ -47,6 +77,49 @@ type traceConfig struct {
 	PeakQPS float64 `json:"peak_qps"`
 	Path    string  `json:"path"`
 	Seed    uint64  `json:"seed"`
+}
+
+// buildCluster resolves the fleet: an explicit device list (validated) when
+// given, the 2:1:1 scaled testbed otherwise.
+func buildCluster(cfg *config) (*proteus.Cluster, error) {
+	if len(cfg.Devices) == 0 {
+		return proteus.ScaledTestbed(cfg.ClusterSize), nil
+	}
+	var counts []proteus.TypeCount
+	for _, d := range cfg.Devices {
+		counts = append(counts, proteus.TypeCount{Type: proteus.DeviceType(d.Type), Count: d.Count})
+	}
+	return proteus.NewClusterFromSpec(counts)
+}
+
+// buildFaults turns the fault config into a schedule for the cluster.
+func buildFaults(fc *faultConfig, cl *proteus.Cluster, traceSeconds int) (*proteus.FailureSchedule, error) {
+	if fc == nil {
+		return nil, nil
+	}
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	switch {
+	case len(fc.Events) > 0:
+		s := &proteus.FailureSchedule{}
+		for _, ev := range fc.Events {
+			s.Events = append(s.Events, proteus.FailureEvent{
+				Device:    ev.Device,
+				FailAt:    sec(ev.FailAtSeconds),
+				RecoverAt: sec(ev.RecoverAtSeconds),
+			})
+		}
+		return s, nil
+	case fc.KillFraction > 0:
+		return proteus.KillFraction(cl, fc.KillFraction, sec(fc.FailAtSeconds), sec(fc.RecoverAtSeconds)), nil
+	case fc.MTBFSeconds > 0 || fc.MTTRSeconds > 0:
+		return proteus.RandomFailureSchedule(cl, proteus.RandomScheduleConfig{
+			MTBF:    sec(fc.MTBFSeconds),
+			MTTR:    sec(fc.MTTRSeconds),
+			Horizon: time.Duration(traceSeconds) * time.Second,
+			Seed:    fc.Seed,
+		})
+	}
+	return nil, fmt.Errorf("faults config needs events, kill_fraction, or mtbf/mttr_seconds")
 }
 
 func main() {
@@ -71,6 +144,14 @@ func main() {
 	applyDefaults(&cfg)
 
 	tr, err := buildTrace(cfg.Trace)
+	if err != nil {
+		fatal(err)
+	}
+	cl, err := buildCluster(&cfg)
+	if err != nil {
+		fatal(err)
+	}
+	faults, err := buildFaults(cfg.Faults, cl, tr.Seconds())
 	if err != nil {
 		fatal(err)
 	}
@@ -102,11 +183,12 @@ func main() {
 		}
 	}
 	sys, err := proteus.NewSystem(proteus.SystemConfig{
-		Cluster:       proteus.ScaledTestbed(cfg.ClusterSize),
+		Cluster:       cl,
 		Families:      fams,
 		SLOMultiplier: cfg.SLOMultiplier,
 		Allocator:     alloc,
 		Batching:      batch,
+		Faults:        faults,
 		Seed:          cfg.Seed,
 	})
 	if err != nil {
@@ -118,7 +200,10 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("allocation=%s batching=%s cluster=%d trace=%s (%ds, peak %.0f QPS)\n",
-		cfg.ModelAllocation, cfg.Batching, cfg.ClusterSize, cfg.Trace.Kind, tr.Seconds(), tr.PeakQPS())
+		cfg.ModelAllocation, cfg.Batching, cl.Size(), cfg.Trace.Kind, tr.Seconds(), tr.PeakQPS())
+	if faults != nil {
+		fmt.Printf("faults: %d scheduled events\n", len(faults.Events))
+	}
 	fmt.Printf("simulated in %v (wall)\n", time.Since(start).Round(time.Millisecond))
 	fmt.Println(res.Summary)
 	fmt.Printf("re-allocations=%d model-loads=%d\n", len(res.Plans), res.ModelLoads)

@@ -18,6 +18,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +31,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		clusterSz = flag.Int("cluster", 8, "cluster size (2:1:1 CPU:1080Ti:V100)")
+		devices   = flag.String("devices", "", `explicit fleet as "type:count" pairs, e.g. "cpu:4,v100:2" (overrides -cluster)`)
 		allocName = flag.String("allocation", "ilp", "resource allocator (ilp, infaas_v2, sommelier, clipper-ht, clipper-ha)")
 		batchName = flag.String("batching", "accscale", "batching policy (accscale, nexus, aimd, static-N)")
 		period    = flag.Duration("period", 10*time.Second, "re-allocation period")
@@ -38,6 +41,14 @@ func main() {
 	)
 	flag.Parse()
 
+	cl := proteus.ScaledTestbed(*clusterSz)
+	if *devices != "" {
+		var err error
+		cl, err = parseDevices(*devices)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	alloc, err := proteus.NewAllocator(*allocName, nil)
 	if err != nil {
 		fatal(err)
@@ -54,7 +65,7 @@ func main() {
 		initial[q] = *driveQPS * z.P(q)
 	}
 	srv, err := proteus.NewLiveServer(proteus.LiveConfig{
-		Cluster:       proteus.ScaledTestbed(*clusterSz),
+		Cluster:       cl,
 		Families:      fams,
 		Allocator:     alloc,
 		Batching:      batch,
@@ -78,7 +89,7 @@ func main() {
 	}
 
 	fmt.Printf("proteusd: serving %d families on %d devices at %s (allocation=%s batching=%s)\n",
-		len(fams), *clusterSz, *addr, *allocName, *batchName)
+		len(fams), cl.Size(), *addr, *allocName, *batchName)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)
 	}
@@ -117,6 +128,31 @@ func printAllocation(srv *proteus.LiveServer) {
 		}
 		fmt.Printf("  %-14s %s\n", d, v)
 	}
+}
+
+// parseDevices turns "cpu:4,v100:2" into a validated cluster. Unknown device
+// types come back as errors, not panics.
+func parseDevices(spec string) (*proteus.Cluster, error) {
+	var counts []proteus.TypeCount
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		typ, cnt, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("-devices entry %q: want type:count", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(cnt))
+		if err != nil {
+			return nil, fmt.Errorf("-devices entry %q: bad count: %v", part, err)
+		}
+		counts = append(counts, proteus.TypeCount{
+			Type:  proteus.DeviceType(strings.TrimSpace(typ)),
+			Count: n,
+		})
+	}
+	return proteus.NewClusterFromSpec(counts)
 }
 
 func fatal(err error) {

@@ -31,6 +31,8 @@ type (
 	// AggregationComparison contrasts the exact aggregated MILP with the
 	// paper's literal per-device formulation.
 	AggregationComparison = experiments.AggregationComparison
+	// FaultReport summarizes the graceful-degradation experiment.
+	FaultReport = experiments.FaultReport
 )
 
 // Fig1a reproduces Figure 1a (EfficientNet accuracy-throughput trade-off).
@@ -80,6 +82,13 @@ func CompareFormulations(sizes []int, timeLimit time.Duration) ([]AggregationCom
 	return experiments.CompareFormulations(sizes, timeLimit)
 }
 
+// FaultTolerance runs the graceful-degradation experiment: a quarter of the
+// fleet fails for the middle third of the trace and the system degrades
+// accuracy instead of availability.
+func FaultTolerance(o ExperimentOptions) (FaultReport, error) {
+	return experiments.FaultTolerance(o)
+}
+
 // Render helpers writing experiment results as aligned text tables.
 var (
 	RenderFig1a     = experiments.RenderFig1a
@@ -90,6 +99,7 @@ var (
 	RenderFig10     = experiments.RenderFig10
 	RenderTable2    = experiments.RenderTable2
 	RenderSeriesCSV = experiments.RenderSeriesCSV
+	RenderFaults    = experiments.RenderFaults
 )
 
 // RenderFig9 writes the per-family breakdown table.

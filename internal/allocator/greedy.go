@@ -44,7 +44,7 @@ func (g *InfaasAccuracy) Allocate(in *Input) (*Allocation, error) {
 	refs := in.Variants()
 
 	free := make(map[int]bool, in.Cluster.Size())
-	for _, d := range in.Cluster.Devices() {
+	for _, d := range in.Cluster.HealthyDevices() {
 		free[d.ID] = true
 	}
 

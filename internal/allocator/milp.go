@@ -445,6 +445,9 @@ func (m *MILP) prevCounts(in *Input, groups []cluster.TypeGroup, refs []VariantR
 		return nil
 	}
 	devGroup := make([]int, in.Cluster.Size())
+	for d := range devGroup {
+		devGroup[d] = -1 // not in any group (e.g. failed devices)
+	}
 	for gi, g := range groups {
 		for _, d := range g.Devices {
 			devGroup[d] = gi
@@ -452,7 +455,7 @@ func (m *MILP) prevCounts(in *Input, groups []cluster.TypeGroup, refs []VariantR
 	}
 	hosted := make(map[int]map[string]int)
 	for d, ref := range m.prev.Hosted {
-		if ref == nil {
+		if ref == nil || devGroup[d] < 0 {
 			continue
 		}
 		g := devGroup[d]

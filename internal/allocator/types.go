@@ -71,8 +71,12 @@ func (in *Input) Variants() []VariantRef {
 }
 
 // Peak returns P_{d,m,q}: the peak throughput of variant ref on device d
-// under its family's SLO (0 when infeasible).
+// under its family's SLO (0 when infeasible). Failed devices have zero peak,
+// so every allocator that consults capacity automatically avoids them.
 func (in *Input) Peak(d cluster.Device, ref VariantRef) float64 {
+	if !in.Cluster.Healthy(d.ID) {
+		return 0
+	}
 	return profiles.EffectiveCapacity(d.Spec, ref.Variant, in.SLOs[ref.Family])
 }
 
@@ -230,6 +234,47 @@ func (a *Allocation) FamilyAccuracy(in *Input, q int) float64 {
 		return 0
 	}
 	return num / den
+}
+
+// ProjectHealthy carries a previous plan onto the input's healthy devices:
+// hosting and routing entries on failed devices are vacated, everything else
+// is kept. It is the control plane's last-resort fallback when every
+// allocator errors — serving degrades to the surviving replicas of the old
+// plan instead of aborting the run. ServedQPS, PredictedAccuracy and
+// DemandScale are recomputed against the input's demand.
+func ProjectHealthy(prev *Allocation, in *Input) *Allocation {
+	out := NewAllocation(in)
+	for d := 0; d < in.Cluster.Size() && d < len(prev.Hosted); d++ {
+		if in.Cluster.Healthy(d) {
+			out.Hosted[d] = prev.Hosted[d]
+		}
+	}
+	total, served := 0.0, 0.0
+	for q := range out.Routing {
+		if q >= len(prev.Routing) {
+			break
+		}
+		sum := 0.0
+		for d, y := range prev.Routing[q] {
+			if d >= in.Cluster.Size() || out.Hosted[d] == nil || y <= 0 {
+				continue
+			}
+			out.Routing[q][d] = y
+			sum += y
+		}
+		out.ServedQPS[q] = sum * in.Demand[q]
+		total += in.Demand[q]
+		served += out.ServedQPS[q]
+	}
+	out.DemandScale = 1
+	if total > 0 {
+		out.DemandScale = served / total
+		if out.DemandScale > 1 {
+			out.DemandScale = 1
+		}
+	}
+	out.PredictedAccuracy = out.EffectiveAccuracy(in)
+	return out
 }
 
 // Features is the Table 2 capability matrix entry for an allocator.

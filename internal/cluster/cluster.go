@@ -44,12 +44,24 @@ var builtinSpecs = map[DeviceType]TypeSpec{
 	V100:      {Type: V100, MemoryMB: 16384, FixedOverheadMS: 16, EffGFLOPsPerMS: 0.26},
 }
 
-// Spec returns the built-in spec for a device type. It panics on unknown
-// types, which indicate a configuration error.
-func Spec(t DeviceType) TypeSpec {
+// SpecFor returns the built-in spec for a device type, or an error on
+// unknown types. Config-driven entry points (proteusd, proteus-sim) use it
+// to surface typos as validation errors instead of panicking the daemon.
+func SpecFor(t DeviceType) (TypeSpec, error) {
 	s, ok := builtinSpecs[t]
 	if !ok {
-		panic(fmt.Sprintf("cluster: unknown device type %q", t))
+		return TypeSpec{}, fmt.Errorf("cluster: unknown device type %q (known: %v)", t, KnownTypes())
+	}
+	return s, nil
+}
+
+// Spec returns the built-in spec for a device type. It panics on unknown
+// types, which indicate a programming error; validate config-driven types
+// with SpecFor first.
+func Spec(t DeviceType) TypeSpec {
+	s, err := SpecFor(t)
+	if err != nil {
+		panic(err.Error())
 	}
 	return s
 }
@@ -66,9 +78,15 @@ type Device struct {
 	Spec TypeSpec
 }
 
-// Cluster is an ordered, fixed set of devices.
+// Cluster is an ordered, fixed set of devices, with an optional
+// health/availability dimension: devices can be marked down (failed) and the
+// allocator then plans only over the healthy subset, while device IDs stay
+// stable so worker arrays and allocation shapes never shift. A Cluster value
+// is immutable — health changes produce a new view via WithHealth.
 type Cluster struct {
 	devices []Device
+	// down[id] marks device id unavailable; nil means all healthy.
+	down []bool
 }
 
 // New builds a cluster from per-type counts, ordering devices by the order
@@ -124,9 +142,91 @@ func ScaledTestbed(total int) *Cluster {
 	})
 }
 
-// Devices returns the devices in ID order. The returned slice must not be
-// modified.
+// NewFromSpec builds a cluster from per-type counts like New, but validates
+// device types and counts instead of panicking. Config-driven entry points
+// use it so an unknown type in a config file surfaces as an error.
+func NewFromSpec(counts []TypeCount) (*Cluster, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("cluster: no device counts given")
+	}
+	for _, tc := range counts {
+		if tc.Count < 0 {
+			return nil, fmt.Errorf("cluster: negative count %d for device type %q", tc.Count, tc.Type)
+		}
+		if tc.Spec == (TypeSpec{}) {
+			if _, err := SpecFor(tc.Type); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c := New(counts)
+	if c.Size() == 0 {
+		return nil, fmt.Errorf("cluster: all device counts are zero")
+	}
+	return c, nil
+}
+
+// Devices returns the devices in ID order, healthy or not. The returned
+// slice must not be modified.
 func (c *Cluster) Devices() []Device { return c.devices }
+
+// WithHealth returns a view of the cluster with the given down-mask (true =
+// failed). The device set and IDs are unchanged — only GroupByType,
+// HealthyDevices and Healthy reflect the mask, so allocation shapes stay
+// aligned with the full fleet. The mask is copied; a short mask leaves the
+// remaining devices healthy, and nil clears all failures.
+func (c *Cluster) WithHealth(down []bool) *Cluster {
+	out := &Cluster{devices: c.devices}
+	for id := range down {
+		if id >= len(c.devices) {
+			break
+		}
+		if down[id] {
+			if out.down == nil {
+				out.down = make([]bool, len(c.devices))
+			}
+			out.down[id] = true
+		}
+	}
+	return out
+}
+
+// Healthy reports whether the device with the given ID is available.
+// Out-of-range IDs are reported unhealthy.
+func (c *Cluster) Healthy(id int) bool {
+	if id < 0 || id >= len(c.devices) {
+		return false
+	}
+	return c.down == nil || !c.down[id]
+}
+
+// HealthyCount returns the number of available devices.
+func (c *Cluster) HealthyCount() int {
+	if c.down == nil {
+		return len(c.devices)
+	}
+	n := 0
+	for id := range c.devices {
+		if !c.down[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// HealthyDevices returns the available devices in ID order.
+func (c *Cluster) HealthyDevices() []Device {
+	if c.down == nil {
+		return c.devices
+	}
+	out := make([]Device, 0, len(c.devices))
+	for _, d := range c.devices {
+		if !c.down[d.ID] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
 
 // WithExtra returns a new cluster with one additional device of the given
 // type appended (IDs of existing devices are unchanged). Used by the §7
@@ -135,6 +235,10 @@ func (c *Cluster) Devices() []Device { return c.devices }
 func (c *Cluster) WithExtra(t DeviceType) *Cluster {
 	out := &Cluster{devices: make([]Device, len(c.devices), len(c.devices)+1)}
 	copy(out.devices, c.devices)
+	if c.down != nil {
+		out.down = make([]bool, len(c.devices)+1)
+		copy(out.down, c.down)
+	}
 	id := len(out.devices)
 	out.devices = append(out.devices, Device{
 		ID:   id,
@@ -162,14 +266,18 @@ type TypeGroup struct {
 	Devices []int
 }
 
-// GroupByType partitions devices into groups with identical specs, in
-// deterministic order. The resource allocator aggregates identical devices
-// into one integer variable per group, which shrinks the MILP exactly (see
-// DESIGN.md).
+// GroupByType partitions the *healthy* devices into groups with identical
+// specs, in deterministic order. The resource allocator aggregates identical
+// devices into one integer variable per group, which shrinks the MILP
+// exactly (see DESIGN.md); excluding failed devices here means every
+// group-based allocator automatically plans only over the available fleet.
 func (c *Cluster) GroupByType() []TypeGroup {
 	byKey := map[TypeSpec][]int{}
 	var keys []TypeSpec
 	for _, d := range c.devices {
+		if !c.Healthy(d.ID) {
+			continue
+		}
 		if _, ok := byKey[d.Spec]; !ok {
 			keys = append(keys, d.Spec)
 		}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"proteus/internal/numeric"
+)
+
+// FailureEvent takes one device down at FailAt and, when RecoverAt is
+// positive, brings it back at RecoverAt. RecoverAt == 0 means the device
+// never recovers within the run.
+type FailureEvent struct {
+	Device    int
+	FailAt    time.Duration
+	RecoverAt time.Duration
+}
+
+// FailureSchedule is a deterministic fault-injection plan: the same schedule
+// drives simulation events in the discrete-event engine and real timers in
+// the live cluster, so failure experiments replay identically in both modes.
+type FailureSchedule struct {
+	Events []FailureEvent
+}
+
+// Validate checks the schedule against a fleet of the given size.
+func (s *FailureSchedule) Validate(size int) error {
+	if s == nil {
+		return nil
+	}
+	for i, ev := range s.Events {
+		if ev.Device < 0 || ev.Device >= size {
+			return fmt.Errorf("cluster: failure event %d targets device %d outside fleet [0,%d)", i, ev.Device, size)
+		}
+		if ev.FailAt < 0 {
+			return fmt.Errorf("cluster: failure event %d has negative fail time %v", i, ev.FailAt)
+		}
+		if ev.RecoverAt != 0 && ev.RecoverAt <= ev.FailAt {
+			return fmt.Errorf("cluster: failure event %d recovers at %v, not after its failure at %v", i, ev.RecoverAt, ev.FailAt)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *FailureSchedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// KillFraction builds a schedule that fails the given fraction of the
+// cluster at `at`, spread proportionally across the device-type groups (so a
+// 25% kill takes out a quarter of the CPUs and a quarter of each GPU tier,
+// mirroring a rack or zone loss rather than one homogeneous pool). When
+// recoverAt is positive all victims come back at that time.
+func KillFraction(c *Cluster, frac float64, at, recoverAt time.Duration) *FailureSchedule {
+	if frac <= 0 || c.Size() == 0 {
+		return &FailureSchedule{}
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	victims := int(frac*float64(c.Size()) + 0.5)
+	if victims < 1 {
+		victims = 1
+	}
+	groups := c.GroupByType()
+	s := &FailureSchedule{}
+	// Round-robin over the groups, taking each group's highest-ID devices
+	// first (deterministic, and leaves device 0 of every type alive for as
+	// long as possible).
+	taken := make([]int, len(groups))
+	for len(s.Events) < victims {
+		progressed := false
+		for gi, g := range groups {
+			if len(s.Events) >= victims {
+				break
+			}
+			if taken[gi] >= len(g.Devices) {
+				continue
+			}
+			d := g.Devices[len(g.Devices)-1-taken[gi]]
+			taken[gi]++
+			progressed = true
+			s.Events = append(s.Events, FailureEvent{Device: d, FailAt: at, RecoverAt: recoverAt})
+		}
+		if !progressed {
+			break
+		}
+	}
+	sort.Slice(s.Events, func(i, j int) bool { return s.Events[i].Device < s.Events[j].Device })
+	return s
+}
+
+// RandomScheduleConfig parameterizes seeded random fault injection.
+type RandomScheduleConfig struct {
+	// MTBF is the mean time between failures per device (exponential).
+	MTBF time.Duration
+	// MTTR is the mean time to repair per failure (exponential).
+	MTTR time.Duration
+	// Horizon bounds the schedule: no event fires at or after it.
+	Horizon time.Duration
+	// Seed drives the generator; the same seed reproduces the schedule.
+	Seed uint64
+}
+
+// RandomSchedule draws a seeded fail/recover timeline per device with
+// exponential MTBF/MTTR, the classic availability model. The result is a
+// fixed, reproducible schedule: randomness lives in the generation, not in
+// the replay.
+func RandomSchedule(c *Cluster, cfg RandomScheduleConfig) (*FailureSchedule, error) {
+	if cfg.MTBF <= 0 || cfg.MTTR <= 0 {
+		return nil, fmt.Errorf("cluster: random schedule needs positive MTBF and MTTR (got %v, %v)", cfg.MTBF, cfg.MTTR)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("cluster: random schedule needs a positive horizon")
+	}
+	rng := numeric.NewRNG(cfg.Seed)
+	s := &FailureSchedule{}
+	for _, dev := range c.Devices() {
+		t := time.Duration(0)
+		for {
+			up := time.Duration(rng.Exp(1.0/cfg.MTBF.Seconds()) * float64(time.Second))
+			failAt := t + up
+			if failAt >= cfg.Horizon {
+				break
+			}
+			down := time.Duration(rng.Exp(1.0/cfg.MTTR.Seconds()) * float64(time.Second))
+			recoverAt := failAt + down
+			if recoverAt >= cfg.Horizon {
+				recoverAt = 0 // never recovers within the run
+			}
+			s.Events = append(s.Events, FailureEvent{Device: dev.ID, FailAt: failAt, RecoverAt: recoverAt})
+			if recoverAt == 0 {
+				break
+			}
+			t = recoverAt
+		}
+	}
+	sort.Slice(s.Events, func(i, j int) bool {
+		if s.Events[i].FailAt != s.Events[j].FailAt {
+			return s.Events[i].FailAt < s.Events[j].FailAt
+		}
+		return s.Events[i].Device < s.Events[j].Device
+	})
+	return s, nil
+}

@@ -55,13 +55,18 @@ func (s *Stats) AnyBurst(t time.Duration) bool {
 }
 
 // SetPlanned records each family's planned serving capacity from a new
-// allocation.
-func (s *Stats) SetPlanned(served []float64) {
-	for q, m := range s.Monitors {
-		if q < len(served) {
-			m.SetPlanned(served[q])
-		}
+// allocation. The served slice must cover exactly the monitored families —
+// a mismatched length means the plan and the monitor set disagree about the
+// family space, which would silently mis-arm burst detection.
+func (s *Stats) SetPlanned(served []float64) error {
+	if len(served) != len(s.Monitors) {
+		return fmt.Errorf("controlplane: planned capacities cover %d families, monitors cover %d",
+			len(served), len(s.Monitors))
 	}
+	for q, m := range s.Monitors {
+		m.SetPlanned(served[q])
+	}
+	return nil
 }
 
 // PlanRecord summarizes one re-allocation for experiment reporting.
@@ -71,8 +76,12 @@ type PlanRecord struct {
 	PredictedAccuracy float64
 	DemandScale       float64
 	SolveTime         time.Duration
-	Trigger           string // "initial", "periodic", "burst"
-	HostedVariants    map[string]int
+	Trigger           string // "initial", "periodic", "burst", "failure", "recovery"
+	// Solver names the allocator that produced the plan: the primary's name,
+	// "<name> (fallback)" when the fallback stepped in, or "carry-forward"
+	// when the last feasible plan was projected onto the surviving devices.
+	Solver         string
+	HostedVariants map[string]int
 }
 
 // Controller owns the allocator and the re-allocation schedule.
@@ -83,7 +92,15 @@ type Controller struct {
 	// re-allocations.
 	BurstCooldown time.Duration
 
-	alloc    allocator.Allocator
+	alloc allocator.Allocator
+	// fallback steps in when the primary allocator errors (MILP infeasible
+	// past its back-off budget, solver timeout surfaced as an error): a
+	// cheap heuristic restricted — like every allocator — to the cluster's
+	// healthy subset. Defaults to the greedy INFaaS-Accuracy heuristic.
+	fallback allocator.Allocator
+	// lastPlan is the most recent feasible plan; when both allocators fail
+	// it is projected onto the surviving devices instead of aborting.
+	lastPlan *allocator.Allocation
 	cluster  *cluster.Cluster
 	families []models.Family
 	slos     []time.Duration
@@ -102,7 +119,7 @@ func NewController(a allocator.Allocator, c *cluster.Cluster, families []models.
 	if cooldown <= 0 {
 		cooldown = 10 * time.Second
 	}
-	return &Controller{
+	ctl := &Controller{
 		Period:        period,
 		BurstCooldown: cooldown,
 		alloc:         a,
@@ -110,10 +127,18 @@ func NewController(a allocator.Allocator, c *cluster.Cluster, families []models.
 		families:      families,
 		slos:          slos,
 	}
+	if a == nil || a.Name() != "infaas_v2" {
+		ctl.fallback = allocator.NewInfaasAccuracy()
+	}
+	return ctl
 }
 
 // Allocator returns the wrapped allocator.
 func (c *Controller) Allocator() allocator.Allocator { return c.alloc }
+
+// SetFallback replaces the fallback allocator used when the primary errors.
+// Passing nil disables the fallback stage (the carry-forward stage remains).
+func (c *Controller) SetFallback(a allocator.Allocator) { c.fallback = a }
 
 // SetCluster replaces the device fleet for subsequent re-allocations (the
 // §7 hardware-scaling extension grows it when provisioned servers arrive).
@@ -126,7 +151,12 @@ func (c *Controller) Cluster() *cluster.Cluster { return c.cluster }
 func (c *Controller) Dynamic() bool { return c.alloc.Dynamic() }
 
 // Reallocate invokes the allocator with the demand estimate and records the
-// plan. Trigger labels the cause for the history.
+// plan. Trigger labels the cause for the history. On a primary-allocator
+// error the fallback chain engages: first the greedy fallback restricted to
+// the healthy devices, then — if that errors too — the last feasible plan
+// projected onto the survivors. Only when all three stages fail does
+// Reallocate return an error, and even then the attempt time is recorded so
+// the cooldown throttles erroring allocators like successful ones.
 func (c *Controller) Reallocate(now time.Duration, demand []float64, trigger string) (*allocator.Allocation, error) {
 	if len(demand) != len(c.families) {
 		return nil, fmt.Errorf("controlplane: demand has %d entries, want %d", len(demand), len(c.families))
@@ -138,11 +168,33 @@ func (c *Controller) Reallocate(now time.Duration, demand []float64, trigger str
 		Demand:   demand,
 	}
 	plan, err := c.alloc.Allocate(in)
+	solver := c.alloc.Name()
 	if err != nil {
-		return nil, err
+		solveErr := err
+		plan = nil
+		if c.fallback != nil {
+			fb, ferr := c.fallback.Allocate(in)
+			if ferr == nil {
+				plan, solver = fb, c.fallback.Name()+" (fallback)"
+			} else {
+				solveErr = fmt.Errorf("%w; fallback %s: %v", err, c.fallback.Name(), ferr)
+			}
+		}
+		if plan == nil && c.lastPlan != nil {
+			plan, solver = allocator.ProjectHealthy(c.lastPlan, in), "carry-forward"
+		}
+		if plan == nil {
+			// Record the attempt so the cooldown applies to failed solves
+			// too; without this an erroring allocator is re-invoked at every
+			// tick with no backoff.
+			c.last = now
+			c.started = true
+			return nil, solveErr
+		}
 	}
 	c.last = now
 	c.started = true
+	c.lastPlan = plan
 	counts := map[string]int{}
 	for d := range plan.Hosted {
 		if id := plan.HostedID(d); id != "" {
@@ -156,6 +208,7 @@ func (c *Controller) Reallocate(now time.Duration, demand []float64, trigger str
 		DemandScale:       plan.DemandScale,
 		SolveTime:         plan.SolveTime,
 		Trigger:           trigger,
+		Solver:            solver,
 		HostedVariants:    counts,
 	})
 	return plan, nil
@@ -191,6 +244,21 @@ func (c *Controller) AllowBurst(now time.Duration) bool {
 		return true
 	}
 	return now-c.last >= c.BurstCooldown
+}
+
+// CooldownRemaining returns how long until a triggered re-allocation is
+// permitted at time now (0 when one is allowed immediately). Callers that
+// must not lose a trigger — a failure re-allocation arriving inside the
+// cooldown window — use this to schedule a retry instead of dropping it.
+func (c *Controller) CooldownRemaining(now time.Duration) time.Duration {
+	if !c.started {
+		return 0
+	}
+	rem := c.last + c.BurstCooldown - now
+	if rem < 0 {
+		return 0
+	}
+	return rem
 }
 
 // History returns the re-allocation records so far.

@@ -60,6 +60,9 @@ type Config struct {
 	// the controller provisions an extra device, which joins the fleet
 	// after ProvisionDelay; accuracy scaling absorbs the burst meanwhile.
 	Elastic *ElasticConfig
+	// Faults injects deterministic device failures and recoveries during the
+	// run (nil for a healthy fleet). Must validate against the cluster size.
+	Faults *cluster.FailureSchedule
 	// DisableAdmission turns off load-balancer admission control: all
 	// arriving queries are routed even when the plan sheds load, leaving
 	// overload to pile up in worker queues. Exists for the design-ablation
@@ -115,6 +118,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Elastic != nil {
 		c.Elastic = c.Elastic.withDefaults()
+	}
+	if err := c.Faults.Validate(c.Cluster.Size()); err != nil {
+		return c, err
 	}
 	return c, nil
 }

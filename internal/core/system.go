@@ -34,6 +34,13 @@ type System struct {
 	nextID     uint64
 	reallocErr error
 
+	// Failure state: down[d] marks device d as failed; pendingFaultRetry
+	// tracks a fault-triggered re-allocation deferred by the cooldown, with
+	// pendingFaultTrigger holding the most recent coalesced trigger.
+	down                []bool
+	pendingFaultRetry   bool
+	pendingFaultTrigger string
+
 	// Hardware scaling in tandem (§7): extra devices provisioned and in
 	// flight.
 	extraProvisioned int
@@ -73,6 +80,7 @@ func NewSystem(cfg Config) (*System, error) {
 	for _, dev := range cfg.Cluster.Devices() {
 		s.workers = append(s.workers, &worker{sys: s, dev: dev, policy: cfg.Batching()})
 	}
+	s.down = make([]bool, cfg.Cluster.Size())
 	s.plan = allocator.NewAllocation(&allocator.Input{
 		Cluster:  cfg.Cluster,
 		Families: cfg.Families,
@@ -161,6 +169,17 @@ func (s *System) RunArrivals(arrivals []trace.Arrival, duration time.Duration, i
 		}
 	}
 
+	// Fault injection: the schedule's events become simulation events.
+	if s.cfg.Faults != nil {
+		for _, ev := range s.cfg.Faults.Events {
+			ev := ev
+			s.engine.Schedule(ev.FailAt, func() { s.failDevice(ev.Device) })
+			if ev.RecoverAt > 0 {
+				s.engine.Schedule(ev.RecoverAt, func() { s.recoverDevice(ev.Device) })
+			}
+		}
+	}
+
 	s.engine.Run()
 	if s.reallocErr != nil {
 		return nil, s.reallocErr
@@ -242,7 +261,13 @@ func (s *System) reallocate(trigger string) {
 	}
 	// The plan takes effect after the control-path delay (§4: the solver is
 	// off the critical path, so serving continues meanwhile).
-	s.engine.After(s.cfg.PlanApplyDelay, func() { s.applyPlan(plan, false) })
+	s.engine.After(s.cfg.PlanApplyDelay, func() {
+		s.applyPlan(plan, false)
+		if trigger == "failure" {
+			// The surviving-device plan is live: failures are handled.
+			s.collector.FailureHandled(s.engine.Now())
+		}
+	})
 
 	// Hardware scaling in tandem (§7): a plan that sheds demand means even
 	// the lowest-accuracy hosting cannot cover the load — start a server;
@@ -264,6 +289,7 @@ func (s *System) provisionDevice() {
 	s.controller.SetCluster(grown)
 	dev := grown.Device(grown.Size() - 1)
 	s.workers = append(s.workers, &worker{sys: s, dev: dev, policy: s.cfg.Batching()})
+	s.down = append(s.down, false)
 	s.reallocate("provision")
 }
 
@@ -274,9 +300,18 @@ func (s *System) provisionDevice() {
 func (s *System) applyPlan(plan *allocator.Allocation, initial bool) {
 	now := s.engine.Now()
 	s.plan = plan
-	s.stats.SetPlanned(plan.ServedQPS)
+	if err := s.stats.SetPlanned(plan.ServedQPS); err != nil {
+		// Plans come from our own controller so the shapes always agree;
+		// surface any disagreement as a run error rather than panicking.
+		s.reallocErr = err
+	}
 	var rerouted []query
 	for d, w := range s.workers {
+		if d < len(s.down) && s.down[d] {
+			// Failed devices keep hosting nothing; recovery reloads from the
+			// then-current plan.
+			continue
+		}
 		var hostedRef *allocator.VariantRef
 		newID := ""
 		if d < len(plan.Hosted) {
@@ -326,7 +361,7 @@ func (s *System) rebuildTable() {
 				continue
 			}
 			admit[q] += y
-			if s.workers[d].loadingUntil > now {
+			if w := s.workers[d]; w.down || w.loadingUntil > now {
 				continue
 			}
 			masked.Routing[q][d] = y

@@ -16,6 +16,9 @@ type query struct {
 	family   int
 	arrival  time.Duration
 	deadline time.Duration
+	// retries counts failure re-dispatches; a query is retried at most once
+	// before being dropped.
+	retries int
 }
 
 // worker is one device: a queue, a batching policy and a (simulated)
@@ -30,8 +33,14 @@ type worker struct {
 	memBatch     int // memory-only cap
 	queue        []query
 	busy         bool
+	down         bool
 	loadingUntil time.Duration
 	wake         *simulation.Event
+
+	// In-flight batch and its completion event, tracked so a failure can
+	// cancel the execution and strand the batch back to the router.
+	inflight   []query
+	inflightEv *simulation.Event
 
 	// batchesRun counts executed batches (for reports).
 	batchesRun int
@@ -108,6 +117,11 @@ func (w *worker) procTime(b int) time.Duration {
 
 // enqueue admits a routed query and re-evaluates the batching decision.
 func (w *worker) enqueue(q query) {
+	if w.down {
+		// Routed before the table caught up with the failure; bounce back.
+		w.sys.requeue(w.sys.engine.Now(), q)
+		return
+	}
 	w.noteArrival(w.sys.engine.Now())
 	w.queue = append(w.queue, q)
 	w.evaluate()
@@ -127,6 +141,35 @@ func (w *worker) cancelWake() {
 		w.wake.Cancel()
 		w.wake = nil
 	}
+}
+
+// fail kills the device: the in-flight batch (its completion event is
+// cancelled — the hardware died mid-execution) and the queue are returned
+// stranded for the system to requeue; the hosted model is lost.
+func (w *worker) fail() []query {
+	w.down = true
+	stranded := w.takeQueue()
+	if w.inflightEv != nil {
+		w.inflightEv.Cancel()
+		w.inflightEv = nil
+	}
+	stranded = append(stranded, w.inflight...)
+	w.inflight = nil
+	w.busy = false
+	w.hosted = nil
+	w.maxBatch, w.memBatch = 0, 0
+	w.loadingUntil = 0
+	w.policy.Reset()
+	return stranded
+}
+
+// recover brings the device back with an empty memory: it reloads ref (the
+// current plan's hosting for it, usually nil until the next re-allocation)
+// with the full model-load delay.
+func (w *worker) recover(ref *allocator.VariantRef, now time.Duration) {
+	w.down = false
+	w.setHosted(ref, now)
+	w.evaluate()
 }
 
 // dropExpired removes queries that cannot possibly complete within their
@@ -150,7 +193,7 @@ func (w *worker) dropExpired(now time.Duration) {
 // on arrival, on batch completion, on load completion and on wake-up.
 func (w *worker) evaluate() {
 	now := w.sys.engine.Now()
-	if w.busy {
+	if w.busy || w.down {
 		return
 	}
 	if w.hosted == nil || w.maxBatch < 1 {
@@ -243,8 +286,11 @@ func (w *worker) execute(now time.Duration, b int) {
 	done := now + w.procTime(b)
 	w.busy = true
 	w.batchesRun++
-	w.sys.engine.Schedule(done, func() {
+	w.inflight = batch
+	w.inflightEv = w.sys.engine.Schedule(done, func() {
 		w.busy = false
+		w.inflight = nil
+		w.inflightEv = nil
 		violations := 0
 		for _, q := range batch {
 			if done <= q.deadline {

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFailureCounters(t *testing.T) {
+	c := NewCollector(time.Second, []string{"a", "b"})
+	c.Arrival(0, 0)
+	c.Served(100*time.Millisecond, 0, 90, 100*time.Millisecond)
+
+	c.DeviceFailed(2 * time.Second)
+	c.DeviceFailed(2 * time.Second)
+	c.Requeued(2*time.Second, 0)
+	c.Retried(2*time.Second, 0)
+	c.Requeued(2*time.Second, 1)
+	c.FailureHandled(5 * time.Second)
+	c.DeviceRecovered(8 * time.Second)
+
+	s := c.Summarize(-1)
+	if s.Failures != 2 || s.Recoveries != 1 || s.Requeued != 2 || s.Retried != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.MeanTimeToRecover != 3*time.Second {
+		t.Fatalf("MeanTimeToRecover = %v, want 3s", s.MeanTimeToRecover)
+	}
+	if !strings.Contains(s.String(), "failures=2") {
+		t.Fatalf("summary string omits failure info: %s", s.String())
+	}
+
+	// Per-family summaries carry no device-level failure stats.
+	if f := c.Summarize(0); f.Failures != 0 || f.Requeued != 0 {
+		t.Fatalf("per-family summary leaked failure counters: %+v", f)
+	}
+}
+
+func TestFailureHandledDrainsPending(t *testing.T) {
+	c := NewCollector(time.Second, []string{"a"})
+	c.DeviceFailed(time.Second)
+	c.FailureHandled(2 * time.Second)
+	// A second handling with nothing pending must not change the stat.
+	c.FailureHandled(10 * time.Second)
+	s := c.Summarize(-1)
+	if s.MeanTimeToRecover != time.Second {
+		t.Fatalf("MeanTimeToRecover = %v, want 1s", s.MeanTimeToRecover)
+	}
+}
+
+func TestSummaryStringOmitsFailuresWhenHealthy(t *testing.T) {
+	c := NewCollector(time.Second, []string{"a"})
+	c.Arrival(0, 0)
+	if strings.Contains(c.Summarize(-1).String(), "failures") {
+		t.Fatal("healthy run summary should not mention failures")
+	}
+}

@@ -19,6 +19,17 @@ type Collector struct {
 	interval time.Duration
 	families []string
 	bins     []*bin
+
+	// Failure accounting (not binned: device-level events are sparse).
+	failures   int
+	recoveries int
+	requeued   int
+	retried    int
+	// pendingFail holds the times of failures whose re-allocation has not
+	// landed yet; FailureHandled drains it into the time-to-recover stat.
+	pendingFail []time.Duration
+	recoverSum  time.Duration
+	recoverN    int
 }
 
 type bin struct {
@@ -104,6 +115,43 @@ func (c *Collector) Dropped(t time.Duration, f int) {
 	c.binAt(t).dropped[f]++
 }
 
+// DeviceFailed records a device failure at time t. The failure stays
+// pending until FailureHandled observes the control plane's response.
+func (c *Collector) DeviceFailed(t time.Duration) {
+	c.failures++
+	c.pendingFail = append(c.pendingFail, t)
+}
+
+// DeviceRecovered records a device coming back at time t.
+func (c *Collector) DeviceRecovered(t time.Duration) { c.recoveries++ }
+
+// Requeued records a query of family f returned to the router at time t
+// because its device failed mid-flight.
+func (c *Collector) Requeued(t time.Duration, f int) {
+	c.checkFamily(f)
+	c.requeued++
+}
+
+// Retried records a query of family f re-dispatched to another replica at
+// time t after losing its original device.
+func (c *Collector) Retried(t time.Duration, f int) {
+	c.checkFamily(f)
+	c.retried++
+}
+
+// FailureHandled records that a failure-triggered re-allocation took effect
+// at time t, closing out every pending failure: the elapsed time per failure
+// feeds the mean time-to-recover stat.
+func (c *Collector) FailureHandled(t time.Duration) {
+	for _, ft := range c.pendingFail {
+		if d := t - ft; d > 0 {
+			c.recoverSum += d
+			c.recoverN++
+		}
+	}
+	c.pendingFail = c.pendingFail[:0]
+}
+
 // Bins returns the number of time bins recorded so far.
 func (c *Collector) Bins() int { return len(c.bins) }
 
@@ -172,6 +220,18 @@ type Summary struct {
 	ViolationRatio float64
 	// MeanLatency is the mean completion latency of executed queries.
 	MeanLatency time.Duration
+
+	// Failure accounting (aggregate only; zero for per-family summaries).
+	Failures   int
+	Recoveries int
+	// Requeued counts queries returned to the router by a failed device;
+	// Retried counts those successfully re-dispatched to another replica.
+	Requeued int
+	Retried  int
+	// MeanTimeToRecover is the mean delay from a device failure to the
+	// failure-triggered re-allocation taking effect (0 when no failure was
+	// handled).
+	MeanTimeToRecover time.Duration
 }
 
 // Summarize computes the run summary. A negative family selects the
@@ -224,13 +284,28 @@ func (c *Collector) Summarize(family int) Summary {
 	if nDone > 0 {
 		s.MeanLatency = latSum / time.Duration(nDone)
 	}
+	if family < 0 {
+		s.Failures = c.failures
+		s.Recoveries = c.recoveries
+		s.Requeued = c.requeued
+		s.Retried = c.retried
+		if c.recoverN > 0 {
+			s.MeanTimeToRecover = c.recoverSum / time.Duration(c.recoverN)
+		}
+	}
 	return s
 }
 
 // String formats the summary for reports.
 func (s Summary) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"queries=%d served=%d late=%d dropped=%d tput=%.1fqps acc=%.2f%% maxdrop=%.2f%% violations=%.4f",
 		s.Queries, s.Served, s.Late, s.Dropped, s.AvgThroughput,
 		s.EffectiveAccuracy, s.MaxAccuracyDrop, s.ViolationRatio)
+	if s.Failures > 0 {
+		out += fmt.Sprintf(" failures=%d recoveries=%d requeued=%d retried=%d ttr=%v",
+			s.Failures, s.Recoveries, s.Requeued, s.Retried,
+			s.MeanTimeToRecover.Round(time.Millisecond))
+	}
+	return out
 }

@@ -47,7 +47,11 @@ type Config struct {
 	// QPS before any statistics exist (all zeros by default: the system
 	// starts minimal and scales on the first control period).
 	InitialDemand []float64
-	Seed          uint64
+	// Faults injects device failures and recoveries on wall-clock timers —
+	// the same schedule type the simulator replays as events, so failure
+	// experiments run identically in both modes.
+	Faults *cluster.FailureSchedule
+	Seed   uint64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -82,6 +86,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MetricsInterval <= 0 {
 		c.MetricsInterval = time.Second
+	}
+	if err := c.Faults.Validate(c.Cluster.Size()); err != nil {
+		return c, err
 	}
 	return c, nil
 }
@@ -118,9 +125,17 @@ type Server struct {
 	stats     *controlplane.Stats
 	collector *metrics.Collector
 	byName    map[string]int
+	// down[d] marks device d as failed (guarded by mu).
+	down []bool
 
+	// controller is only ever touched from the control loop goroutine (and
+	// NewServer before it starts); fault handlers reach it through reallocc.
 	controller *controlplane.Controller
 	workers    []*liveWorker
+
+	// reallocc carries failure/recovery re-allocation triggers into the
+	// control loop, keeping the controller single-goroutine.
+	reallocc chan string
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -135,11 +150,13 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:    cfg,
-		start:  time.Now(),
-		rng:    numeric.NewRNG(cfg.Seed),
-		byName: make(map[string]int),
-		stop:   make(chan struct{}),
+		cfg:      cfg,
+		start:    time.Now(),
+		rng:      numeric.NewRNG(cfg.Seed),
+		byName:   make(map[string]int),
+		down:     make([]bool, cfg.Cluster.Size()),
+		reallocc: make(chan string, 8),
+		stop:     make(chan struct{}),
 	}
 	for q, f := range cfg.Families {
 		s.byName[f.Name] = q
@@ -173,6 +190,10 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.controlLoop()
+	if !cfg.Faults.Empty() {
+		s.wg.Add(1)
+		go s.faultLoop()
+	}
 	return s, nil
 }
 
@@ -198,23 +219,58 @@ func (s *Server) controlLoop() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
-			now := s.now()
-			s.mu.Lock()
-			demand := s.stats.Estimates(now)
-			changed := s.controller.DemandChanged(demand, 0.1)
-			s.mu.Unlock()
-			if !s.controller.Dynamic() || !changed {
-				continue
-			}
-			for q := range demand {
-				demand[q] *= s.cfg.Headroom
-			}
-			plan, err := s.controller.Reallocate(now, demand, "periodic")
-			if err != nil {
-				continue // keep serving on the old plan
-			}
-			s.applyPlan(plan, false)
+			s.maybeReallocate("periodic")
+		case trig := <-s.reallocc:
+			s.maybeReallocate(trig)
 		}
+	}
+}
+
+// requestRealloc asks the control loop for a triggered re-allocation. A full
+// channel means one is already queued; the trigger coalesces into it.
+func (s *Server) requestRealloc(trigger string) {
+	select {
+	case s.reallocc <- trigger:
+	default:
+	}
+}
+
+// maybeReallocate runs one controller invocation on the control loop
+// goroutine. Periodic ticks are suppressed when demand has not moved;
+// failure/recovery triggers honor the cooldown by re-arming themselves at
+// its boundary rather than being dropped.
+func (s *Server) maybeReallocate(trigger string) {
+	if !s.controller.Dynamic() {
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	demand := s.stats.Estimates(now)
+	downCopy := append([]bool(nil), s.down...)
+	s.mu.Unlock()
+	if trigger == "periodic" && !s.controller.DemandChanged(demand, 0.1) {
+		return
+	}
+	if trigger != "periodic" {
+		if rem := s.controller.CooldownRemaining(now); rem > 0 {
+			trig := trigger
+			time.AfterFunc(rem, func() { s.requestRealloc(trig) })
+			return
+		}
+	}
+	for q := range demand {
+		demand[q] *= s.cfg.Headroom
+	}
+	s.controller.SetCluster(s.cfg.Cluster.WithHealth(downCopy))
+	plan, err := s.controller.Reallocate(now, demand, trigger)
+	if err != nil {
+		return // keep serving on the old plan
+	}
+	s.applyPlan(plan, false)
+	if trigger == "failure" {
+		s.mu.Lock()
+		s.collector.FailureHandled(s.now())
+		s.mu.Unlock()
 	}
 }
 
@@ -222,10 +278,19 @@ func (s *Server) controlLoop() {
 func (s *Server) applyPlan(plan *allocator.Allocation, initial bool) {
 	s.mu.Lock()
 	s.plan = plan
-	s.stats.SetPlanned(plan.ServedQPS)
+	// Plans are produced for this server's own family set, so the shapes
+	// always agree; a mismatch would only indicate an internal bug and the
+	// plan is still applied.
+	_ = s.stats.SetPlanned(plan.ServedQPS)
+	downCopy := append([]bool(nil), s.down...)
 	s.mu.Unlock()
 	var rerouted []liveQuery
 	for d, w := range s.workers {
+		if d < len(downCopy) && downCopy[d] {
+			// Failed devices host nothing; recovery reloads from the
+			// then-current plan.
+			continue
+		}
 		if plan.HostedID(d) == w.hostedID() {
 			continue
 		}
@@ -259,7 +324,7 @@ func (s *Server) rebuildTable() {
 				continue
 			}
 			admit[q] += y
-			if s.workers[d].loadingPast(now) {
+			if (d < len(s.down) && s.down[d]) || s.workers[d].loadingPast(now) {
 				continue
 			}
 			masked.Routing[q][d] = y

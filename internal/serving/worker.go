@@ -17,7 +17,10 @@ type liveQuery struct {
 	family   int
 	arrival  time.Duration
 	deadline time.Duration
-	done     chan Response
+	// retries counts failure re-dispatches; a query is retried at most once
+	// before being dropped.
+	retries int
+	done    chan Response
 }
 
 // liveWorker is the wall-clock counterpart of core's worker: a goroutine
@@ -36,6 +39,7 @@ type liveWorker struct {
 	maxBatch     int
 	memBatch     int
 	loadingUntil time.Duration
+	down         bool
 	closed       bool
 	rng          *numeric.RNG
 
@@ -108,10 +112,43 @@ func (w *liveWorker) enqueue(q liveQuery) {
 		w.sys.recordDrop(q)
 		return
 	}
+	if w.down {
+		// Routed before the table caught up with the failure; bounce back.
+		w.mu.Unlock()
+		w.sys.redispatch(q)
+		return
+	}
 	w.noteArrival(w.sys.now())
 	w.queue = append(w.queue, q)
 	w.mu.Unlock()
 	w.wake()
+}
+
+// fail kills the device: the queue drains back to the caller for
+// re-dispatch and the hosted model is lost. An in-flight batch is handled by
+// executeBatch itself, which re-dispatches its queries when it observes the
+// failure after the (wasted) execution sleep.
+func (w *liveWorker) fail() []liveQuery {
+	w.mu.Lock()
+	w.down = true
+	stranded := w.queue
+	w.queue = nil
+	w.hosted = nil
+	w.maxBatch, w.memBatch = 0, 0
+	w.policy.Reset()
+	w.mu.Unlock()
+	w.wake()
+	return stranded
+}
+
+// recover brings the device back with an empty memory, reloading ref (the
+// current plan's hosting for it, usually nil until the next re-allocation)
+// with the full model-load delay.
+func (w *liveWorker) recover(ref *allocator.VariantRef, loadDelay time.Duration) {
+	w.mu.Lock()
+	w.down = false
+	w.mu.Unlock()
+	w.setHosted(ref, loadDelay)
 }
 
 func (w *liveWorker) shutdown() {
@@ -175,6 +212,16 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 			return
 		}
 		now := w.sys.now()
+		if w.down {
+			pending := w.queue
+			w.queue = nil
+			w.mu.Unlock()
+			for _, q := range pending {
+				w.sys.redispatch(q)
+			}
+			w.idleWait()
+			continue
+		}
 		if w.hosted == nil || w.maxBatch < 1 {
 			pending := w.queue
 			w.queue = nil
@@ -283,6 +330,16 @@ func (w *liveWorker) executeBatch(hosted allocator.VariantRef, batch []liveQuery
 		lat = time.Duration(math.Max(0, float64(lat)*noise))
 	}
 	time.Sleep(lat)
+	w.mu.Lock()
+	died := w.down
+	w.mu.Unlock()
+	if died {
+		// The device failed mid-execution: results are lost, re-dispatch.
+		for _, q := range batch {
+			w.sys.redispatch(q)
+		}
+		return
+	}
 	violations := 0
 	now := w.sys.now()
 	for _, q := range batch {

@@ -90,6 +90,16 @@ type (
 	LiveServer = serving.Server
 	// ExperimentOptions scale the paper-reproduction experiments.
 	ExperimentOptions = experiments.Options
+	// FailureSchedule is a deterministic fault-injection plan usable by both
+	// the simulator (SystemConfig.Faults) and the live mode
+	// (LiveConfig.Faults).
+	FailureSchedule = cluster.FailureSchedule
+	// FailureEvent is one device failure (and optional recovery).
+	FailureEvent = cluster.FailureEvent
+	// RandomScheduleConfig parameterizes seeded MTBF/MTTR fault injection.
+	RandomScheduleConfig = cluster.RandomScheduleConfig
+	// TypeCount is one (device type, count) entry of an explicit cluster spec.
+	TypeCount = cluster.TypeCount
 )
 
 // Device types of the paper's testbed.
@@ -112,6 +122,25 @@ func PaperTestbed() *Cluster { return cluster.PaperTestbed() }
 // ScaledTestbed returns a cluster with the paper's 2:1:1 device-type ratio
 // scaled to the given size.
 func ScaledTestbed(total int) *Cluster { return cluster.ScaledTestbed(total) }
+
+// NewClusterFromSpec builds a cluster from (type, count) pairs, validating
+// device types instead of panicking on unknown ones.
+func NewClusterFromSpec(counts []TypeCount) (*Cluster, error) {
+	return cluster.NewFromSpec(counts)
+}
+
+// KillFraction builds a failure schedule that fails the given fraction of
+// the cluster at `at`, spread across the device-type groups; recoverAt == 0
+// means the victims never come back.
+func KillFraction(c *Cluster, frac float64, at, recoverAt time.Duration) *FailureSchedule {
+	return cluster.KillFraction(c, frac, at, recoverAt)
+}
+
+// RandomFailureSchedule draws a seeded, reproducible fail/recover timeline
+// with exponential MTBF/MTTR per device.
+func RandomFailureSchedule(c *Cluster, cfg RandomScheduleConfig) (*FailureSchedule, error) {
+	return cluster.RandomSchedule(c, cfg)
+}
 
 // FamilySLO returns the latency SLO of a family: the batch-1 CPU latency of
 // its fastest variant times the multiplier (§6.1.2; the paper uses 2).
