@@ -1,0 +1,92 @@
+// Command proteus-lint runs the project's static invariant checkers (see
+// internal/analysis) over the module and reports findings with file:line:col
+// positions and check IDs. It exits 1 when any finding is reported and 2 on
+// load or usage errors, so CI can gate on a clean tree:
+//
+//	go run ./cmd/proteus-lint ./...
+//
+// Findings are suppressed per line with a `//lint:allow <check> [reason]`
+// comment on the offending line or the line directly above it. Use -checks to
+// list the registered checkers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"proteus/internal/analysis"
+)
+
+func main() {
+	checks := flag.Bool("checks", false, "list registered checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: proteus-lint [-checks] [packages]\n\npackages are ./..., ./dir/... or ./dir patterns (default ./...)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-lint:", err)
+		os.Exit(2)
+	}
+	mod, err := analysis.NewModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-lint:", err)
+		os.Exit(2)
+	}
+	registry := analysis.DefaultRegistry(mod.Path)
+
+	if *checks {
+		for _, c := range registry.Checkers() {
+			fmt.Printf("%-16s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := registry.Run(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteus-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		f.Pos.Filename = relPath(root, f.Pos.Filename)
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "proteus-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relPath shortens filename to be root-relative when possible.
+func relPath(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return filename
+}

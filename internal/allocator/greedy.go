@@ -39,7 +39,7 @@ func (g *InfaasAccuracy) Allocate(in *Input) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock SolveTime measurement only; never feeds the plan
 	alloc := NewAllocation(in)
 	refs := in.Variants()
 
@@ -102,7 +102,7 @@ func (g *InfaasAccuracy) Allocate(in *Input) (*Allocation, error) {
 
 	fillRoutingByAccuracy(in, alloc)
 	alloc.PredictedAccuracy = alloc.EffectiveAccuracy(in)
-	alloc.SolveTime = time.Since(start)
+	alloc.SolveTime = time.Since(start) //lint:allow determinism reporting-only wall-clock measurement
 	return alloc, nil
 }
 

@@ -122,7 +122,7 @@ func (m *MILP) Allocate(in *Input) (*Allocation, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock SolveTime measurement only; never feeds the plan
 	demand := make([]float64, len(in.Demand))
 	for q, s := range in.Demand {
 		demand[q] = math.Max(s, m.opts.DemandFloor)
@@ -178,7 +178,7 @@ func (m *MILP) Allocate(in *Input) (*Allocation, error) {
 			if total > 0 {
 				alloc.DemandScale = served / total
 			}
-			alloc.SolveTime = time.Since(start)
+			alloc.SolveTime = time.Since(start) //lint:allow determinism reporting-only wall-clock measurement
 			m.prev = alloc
 			return alloc, nil
 		}

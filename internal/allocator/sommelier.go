@@ -66,7 +66,7 @@ func (s *Sommelier) Allocate(in *Input) (*Allocation, error) {
 		return nil, fmt.Errorf("allocator: sommelier initialized with a different cluster size")
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock SolveTime measurement only; never feeds the plan
 	alloc := NewAllocation(in)
 	// Per family: start every assigned device at the most accurate feasible
 	// variant, then greedily downgrade the device offering the best
@@ -138,6 +138,6 @@ func (s *Sommelier) Allocate(in *Input) (*Allocation, error) {
 	}
 	fillRoutingByAccuracy(in, alloc)
 	alloc.PredictedAccuracy = alloc.EffectiveAccuracy(in)
-	alloc.SolveTime = time.Since(start)
+	alloc.SolveTime = time.Since(start) //lint:allow determinism reporting-only wall-clock measurement
 	return alloc, nil
 }

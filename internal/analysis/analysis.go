@@ -1,0 +1,242 @@
+// Package analysis is a small static-analysis framework for the Proteus
+// repository, built entirely on the standard library's go/parser, go/ast and
+// go/types. It exists because the properties Proteus's evaluation rests on —
+// the simulator tracking the testbed within ~1%, the MILP solver being exact,
+// repeated runs being bit-for-bit reproducible from a seed — are invariants
+// that runtime tests cannot economically cover: a stray time.Now() in the
+// simulated-clock path or an unsorted map iteration in plan construction
+// produces silent drift, not a crash.
+//
+// The framework loads the module from source, type-checks every package with
+// a stdlib-only importer, and runs a registry of project-specific checkers
+// (see determinism.go, lockdiscipline.go, floateq.go, errcheck.go). Findings
+// carry file:line:col positions and a check ID, and can be suppressed for a
+// single line with a trailing
+//
+//	//lint:allow <check> [reason]
+//
+// comment (or one placed on the line directly above). The cmd/proteus-lint
+// CLI is the command-line entry point; CI runs it over ./... and fails on any
+// finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats the finding as path:line:col: check: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Checker is one invariant check run over a type-checked package.
+type Checker interface {
+	// Name is the check ID used in reports and //lint:allow directives.
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// Run inspects the package and reports findings through the pass.
+	Run(pass *Pass)
+}
+
+// Pass is the per-(package, checker) context handed to Checker.Run.
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the package's import path.
+	Path string
+	// Module is the module path; checkers use it to decide whether a callee
+	// is "in-module".
+	Module string
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+
+	check      string
+	directives directiveIndex
+	findings   *[]Finding
+}
+
+// Reportf records a finding at pos unless a //lint:allow directive suppresses
+// the current check on that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.directives.allows(position.Filename, position.Line, p.check) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:     position,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ObjectOf resolves the object an identifier uses or defines.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// TypeOf returns the type of an expression (nil when untyped).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through function-typed variables, built-ins and type conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// scope restricts a checker to packages matching any of its import-path
+// prefixes. An empty prefix list admits every package.
+type scopedChecker struct {
+	checker  Checker
+	prefixes []string
+}
+
+func (s scopedChecker) applies(pkgPath string) bool {
+	if len(s.prefixes) == 0 {
+		return true
+	}
+	for _, pre := range s.prefixes {
+		if pkgPath == pre || strings.HasPrefix(pkgPath, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry is an ordered set of checkers with per-checker package scopes.
+type Registry struct {
+	entries []scopedChecker
+}
+
+// Register adds a checker restricted to packages under the given import-path
+// prefixes (all packages when none are given).
+func (r *Registry) Register(c Checker, pathPrefixes ...string) {
+	r.entries = append(r.entries, scopedChecker{checker: c, prefixes: pathPrefixes})
+}
+
+// Checkers lists the registered checkers in registration order.
+func (r *Registry) Checkers() []Checker {
+	out := make([]Checker, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.checker
+	}
+	return out
+}
+
+// DeterministicPackages are the import-path suffixes (relative to the module)
+// whose computations must be reproducible from a seed: the simulated clock,
+// plan construction and the solvers. The determinism checker runs only here.
+var DeterministicPackages = []string{
+	"internal/core",
+	"internal/allocator",
+	"internal/lp",
+	"internal/milp",
+	"internal/simulation",
+}
+
+// SolverPackages hold the numerical pivoting code where exact float64
+// equality is almost always a bug; the floateq checker runs only here.
+var SolverPackages = []string{
+	"internal/lp",
+	"internal/milp",
+}
+
+// DefaultRegistry returns the project's standard checker set, scoped for the
+// given module path.
+func DefaultRegistry(module string) *Registry {
+	under := func(suffixes []string) []string {
+		out := make([]string, len(suffixes))
+		for i, s := range suffixes {
+			out[i] = module + "/" + s
+		}
+		return out
+	}
+	r := &Registry{}
+	r.Register(Determinism{}, under(DeterministicPackages)...)
+	r.Register(LockDiscipline{})
+	r.Register(FloatEq{}, under(SolverPackages)...)
+	r.Register(ErrCheck{})
+	return r
+}
+
+// RunPackage runs every applicable checker over one loaded package and
+// returns its findings sorted by position then check ID.
+func (r *Registry) RunPackage(pkg *Package) []Finding {
+	var findings []Finding
+	for _, e := range r.entries {
+		if !e.applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Fset:       pkg.mod.Fset,
+			Path:       pkg.Path,
+			Module:     pkg.mod.Path,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			check:      e.checker.Name(),
+			directives: pkg.directives,
+			findings:   &findings,
+		}
+		e.checker.Run(pass)
+	}
+	SortFindings(findings)
+	return findings
+}
+
+// Run loads the packages matching patterns under the module rooted at root
+// and returns all findings in deterministic order.
+func (r *Registry) Run(root string, patterns []string) ([]Finding, error) {
+	mod, pkgs, err := LoadModule(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	_ = mod
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, r.RunPackage(pkg)...)
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, check and message so
+// reports are reproducible run to run.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

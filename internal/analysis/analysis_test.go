@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusRoot is the synthetic module holding one golden package per checker.
+const corpusRoot = "testdata/src"
+
+// loadCorpusPackage loads one package of the golden module with a fresh
+// module instance (so tests are independent and order-insensitive).
+func loadCorpusPackage(t *testing.T, dir string) *Package {
+	t.Helper()
+	_, pkgs, err := LoadModule(corpusRoot, []string{"./" + dir})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// wantMarker is the expectation comment in corpus files: a line carrying
+// `// want <check>` must produce exactly one finding of that check.
+const wantMarker = "// want "
+
+// expectedLines parses the `// want <check>` markers of every file in the
+// package and returns the set of lines the checker must flag.
+func expectedLines(t *testing.T, pkg *Package, check string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	for _, fn := range pkg.Filenames {
+		f, err := os.Open(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanner := bufio.NewScanner(f)
+		for line := 1; scanner.Scan(); line++ {
+			text := scanner.Text()
+			i := strings.Index(text, wantMarker)
+			if i < 0 {
+				continue
+			}
+			if got := strings.TrimSpace(text[i+len(wantMarker):]); got == check {
+				want[fmt.Sprintf("%s:%d", filepath.Base(fn), line)] = true
+			}
+		}
+		if err := scanner.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if len(want) == 0 {
+		t.Fatalf("corpus %s has no `// want %s` markers", pkg.Path, check)
+	}
+	return want
+}
+
+// runGolden runs one checker over its corpus package and compares the
+// flagged lines against the `// want` markers, in both directions.
+func runGolden(t *testing.T, checker Checker, dir string) []Finding {
+	t.Helper()
+	pkg := loadCorpusPackage(t, dir)
+	reg := &Registry{}
+	reg.Register(checker)
+	findings := reg.RunPackage(pkg)
+
+	got := make(map[string]bool)
+	for _, f := range findings {
+		got[fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)] = true
+	}
+	want := expectedLines(t, pkg, checker.Name())
+	for key := range want {
+		if !got[key] {
+			t.Errorf("%s: expected a %s finding at %s, got none", dir, checker.Name(), key)
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		if !want[key] {
+			t.Errorf("%s: unexpected finding: %v", dir, f)
+		}
+	}
+	return findings
+}
+
+func TestDeterminismGolden(t *testing.T) { runGolden(t, Determinism{}, "determinism") }
+
+func TestLockDisciplineGolden(t *testing.T) { runGolden(t, LockDiscipline{}, "lockdiscipline") }
+
+func TestFloatEqGolden(t *testing.T) { runGolden(t, FloatEq{}, "floateq") }
+
+func TestErrCheckGolden(t *testing.T) { runGolden(t, ErrCheck{}, "errcheck") }
+
+// TestSuppressionDirectives pins the two //lint:allow forms (trailing and
+// standalone-above) to actual suppression: every corpus file contains at
+// least one directive, and no finding may land on a directive-carrying or
+// directly-following line.
+func TestSuppressionDirectives(t *testing.T) {
+	for _, tc := range []struct {
+		dir     string
+		checker Checker
+	}{
+		{"determinism", Determinism{}},
+		{"lockdiscipline", LockDiscipline{}},
+		{"floateq", FloatEq{}},
+		{"errcheck", ErrCheck{}},
+	} {
+		pkg := loadCorpusPackage(t, tc.dir)
+		allowed := make(map[int]bool)
+		for _, fn := range pkg.Filenames {
+			data, err := os.ReadFile(fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				if !strings.Contains(line, allowPrefix) {
+					continue
+				}
+				allowed[i+1] = true
+				if strings.TrimSpace(line)[:2] == "//" {
+					allowed[i+2] = true // standalone form covers the next line
+				}
+			}
+		}
+		if len(allowed) == 0 {
+			t.Fatalf("corpus %s has no //lint:allow directives", tc.dir)
+		}
+		reg := &Registry{}
+		reg.Register(tc.checker)
+		for _, f := range reg.RunPackage(pkg) {
+			if allowed[f.Pos.Line] {
+				t.Errorf("%s: finding on a suppressed line: %v", tc.dir, f)
+			}
+		}
+	}
+}
+
+// TestOutputDeterminism loads the whole corpus twice from scratch and
+// requires the two formatted reports to be byte-identical and sorted: a
+// linter whose own output order wobbles cannot gate CI.
+func TestOutputDeterminism(t *testing.T) {
+	report := func() string {
+		reg := &Registry{}
+		reg.Register(Determinism{}, "example.com/lintcheck/determinism")
+		reg.Register(LockDiscipline{})
+		reg.Register(FloatEq{}, "example.com/lintcheck/floateq")
+		reg.Register(ErrCheck{})
+		findings, err := reg.Run(corpusRoot, []string{"./..."})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, f := range findings {
+			fmt.Fprintln(&b, f)
+		}
+		return b.String()
+	}
+	first, second := report(), report()
+	if first != second {
+		t.Fatalf("two runs over identical sources diverged:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	lines := strings.Split(strings.TrimSuffix(first, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("corpus run produced only %d findings; corpus or checkers broken", len(lines))
+	}
+	// Findings must be ordered by file then numeric position.
+	type key struct {
+		file      string
+		line, col int
+	}
+	var prev key
+	for _, l := range lines {
+		parts := strings.SplitN(l, ":", 4)
+		if len(parts) < 4 {
+			t.Fatalf("malformed report line: %q", l)
+		}
+		var k key
+		k.file = parts[0]
+		fmt.Sscanf(parts[1], "%d", &k.line)
+		fmt.Sscanf(parts[2], "%d", &k.col)
+		if prev.file != "" && (k.file < prev.file ||
+			(k.file == prev.file && (k.line < prev.line || (k.line == prev.line && k.col < prev.col)))) {
+			t.Fatalf("report out of order at %q (after %v)", l, prev)
+		}
+		prev = k
+	}
+}
+
+// TestScoping pins the package-prefix scoping DefaultRegistry relies on.
+func TestScoping(t *testing.T) {
+	s := scopedChecker{checker: FloatEq{}, prefixes: []string{"proteus/internal/lp", "proteus/internal/milp"}}
+	for path, want := range map[string]bool{
+		"proteus/internal/lp":        true,
+		"proteus/internal/milp":      true,
+		"proteus/internal/lp/sub":    true,
+		"proteus/internal/lpx":       false,
+		"proteus/internal/allocator": false,
+	} {
+		if got := s.applies(path); got != want {
+			t.Errorf("applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if len((scopedChecker{checker: ErrCheck{}}).prefixes) != 0 {
+		t.Fatal("unscoped checker should have no prefixes")
+	}
+	if !(scopedChecker{checker: ErrCheck{}}).applies("anything") {
+		t.Fatal("unscoped checker must apply everywhere")
+	}
+}
+
+// TestDefaultRegistryChecks guards the advertised checker set.
+func TestDefaultRegistryChecks(t *testing.T) {
+	reg := DefaultRegistry("proteus")
+	var names []string
+	for _, c := range reg.Checkers() {
+		names = append(names, c.Name())
+		if c.Doc() == "" {
+			t.Errorf("checker %s has no doc line", c.Name())
+		}
+	}
+	want := []string{"determinism", "lockdiscipline", "floateq", "errcheck"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("registry checks = %v, want %v", names, want)
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directiveIndex records, per file and line, which checks a //lint:allow
+// comment suppresses. A trailing directive suppresses its own line; a
+// directive alone on a line suppresses the line directly below it (so it can
+// sit above the offending statement).
+type directiveIndex map[string]map[int]map[string]bool
+
+// allowPrefix is the directive marker. The comment form is
+//
+//	//lint:allow check1,check2 optional free-text reason
+//
+// The special check name "all" suppresses every check on the line.
+const allowPrefix = "//lint:allow"
+
+// collect scans a parsed file's comments for directives. src is the file's
+// source bytes, used to tell trailing directives from standalone ones.
+func (idx directiveIndex) collect(fset *token.FileSet, f *ast.File, src []byte) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			line := pos.Line
+			if standaloneComment(fset, c, src) {
+				line++
+			}
+			byLine := idx[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int]map[string]bool)
+				idx[pos.Filename] = byLine
+			}
+			checks := byLine[line]
+			if checks == nil {
+				checks = make(map[string]bool)
+				byLine[line] = checks
+			}
+			// Only the first field names checks; the rest is a free-text
+			// reason.
+			for _, name := range strings.Split(fields[0], ",") {
+				if name != "" {
+					checks[name] = true
+				}
+			}
+		}
+	}
+}
+
+// standaloneComment reports whether only whitespace precedes the comment on
+// its line (i.e. it is not trailing a statement).
+func standaloneComment(fset *token.FileSet, c *ast.Comment, src []byte) bool {
+	pos := fset.Position(c.Pos())
+	if pos.Offset > len(src) {
+		return false
+	}
+	lineStart := pos.Offset - (pos.Column - 1)
+	if lineStart < 0 {
+		return false
+	}
+	return strings.TrimSpace(string(src[lineStart:pos.Offset])) == ""
+}
+
+// allows reports whether check is suppressed at file:line.
+func (idx directiveIndex) allows(file string, line int, check string) bool {
+	checks := idx[file][line]
+	return checks != nil && (checks[check] || checks["all"])
+}

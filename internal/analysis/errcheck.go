@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags statements that call an in-module function and drop its
+// error result on the floor. Within this repository an ignored error is
+// almost always an allocation or validation failure silently swallowed — the
+// exact failure mode PR 1's fallback chain exists to surface. Only functions
+// defined in this module are checked: stdlib print-style calls whose errors
+// are conventionally ignored stay quiet. An explicit `_ =` assignment is
+// treated as a deliberate, visible discard and is not flagged.
+type ErrCheck struct{}
+
+// Name implements Checker.
+func (ErrCheck) Name() string { return "errcheck" }
+
+// Doc implements Checker.
+func (ErrCheck) Doc() string {
+	return "flag discarded error results from functions defined in this module"
+}
+
+// Run implements Checker.
+func (e ErrCheck) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			e.checkCall(pass, call)
+			return true
+		})
+	}
+}
+
+func (e ErrCheck) checkCall(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != pass.Module && !strings.HasPrefix(path, pass.Module+"/") {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	results := sig.Results()
+	errAt := -1
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			errAt = i
+		}
+	}
+	if errAt < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"result %d (error) of %s.%s is discarded; handle it or assign it to _ explicitly",
+		errAt, pathBase(path), fn.Name())
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. In the simplex
+// and branch-and-bound code a drifted 1e-17 residue on either side of an
+// exact comparison silently changes pivot choices and therefore the returned
+// plan; comparisons there must go through a tolerance (lp.Options.Tol,
+// milp.Options.IntTol, or math.Abs(a-b) <= tol). Deliberate exact
+// comparisons — e.g. skip-work fast paths that test for a value stored as
+// exactly zero — should say so with //lint:allow floateq.
+type FloatEq struct{}
+
+// Name implements Checker.
+func (FloatEq) Name() string { return "floateq" }
+
+// Doc implements Checker.
+func (FloatEq) Doc() string {
+	return "flag ==/!= between floating-point operands in solver packages; compare within a tolerance instead"
+}
+
+// Run implements Checker.
+func (FloatEq) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			x, y := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+			if !isFloat(x.Type) || !isFloat(y.Type) {
+				return true
+			}
+			if x.Value != nil && y.Value != nil {
+				// Both sides constant: evaluated exactly at compile time.
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"%s between float operands is exact; use a tolerance (lp.Options.Tol / math.Abs(a-b) <= tol) or annotate a deliberate exact comparison with //lint:allow floateq",
+				bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}

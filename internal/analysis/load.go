@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is one loaded Go module: a shared FileSet, the module path from
+// go.mod, and a cache of type-checked packages.
+type Module struct {
+	Root string // absolute directory containing go.mod
+	Path string // module path ("proteus")
+	Fset *token.FileSet
+
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import-cycle guard
+	std     types.Importer      // stdlib importer (compiles from GOROOT source)
+}
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Files []*ast.File
+	// Filenames[i] is the absolute path of Files[i].
+	Filenames []string
+	Types     *types.Package
+	Info      *types.Info
+
+	mod        *Module
+	directives directiveIndex
+}
+
+// NewModule prepares a module rooted at dir (which must contain go.mod) for
+// loading. No packages are loaded yet.
+func NewModule(root string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: module root %s: %w", abs, err)
+	}
+	path := modulePath(string(data))
+	if path == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	m := &Module{
+		Root:    abs,
+		Path:    path,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	m.std = importer.ForCompiler(fset, "source", nil)
+	return m, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// LoadModule loads every package under root matching the patterns ("./...",
+// "./dir/..." or "./dir") and returns them sorted by import path.
+func LoadModule(root string, patterns []string) (*Module, []*Package, error) {
+	m, err := NewModule(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs, err := m.packageDirs()
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(m.Root, dir)
+		if !matchAny(patterns, rel) {
+			continue
+		}
+		pkg, err := m.load(m.importPath(dir))
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return m, pkgs, nil
+}
+
+// matchAny reports whether the root-relative directory rel matches any of the
+// "./...", "./dir/...", "./dir" patterns ("." is the module root itself).
+func matchAny(patterns []string, rel string) bool {
+	rel = filepath.ToSlash(rel)
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		switch {
+		case pat == "..." || pat == "":
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if rel == base || strings.HasPrefix(rel, base+"/") {
+				return true
+			}
+		case rel == pat:
+			return true
+		}
+	}
+	return false
+}
+
+// packageDirs lists every directory under the module root holding at least
+// one non-test .go file, skipping testdata, hidden and underscore dirs.
+func (m *Module) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// sourceFiles lists the non-test .go files of dir in sorted order.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// importPath maps a directory under the module root to its import path.
+func (m *Module) importPath(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor maps an in-module import path back to its directory.
+func (m *Module) dirFor(path string) string {
+	if path == m.Path {
+		return m.Root
+	}
+	return filepath.Join(m.Root, filepath.FromSlash(strings.TrimPrefix(path, m.Path+"/")))
+}
+
+// inModule reports whether path names a package inside this module.
+func (m *Module) inModule(path string) bool {
+	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
+}
+
+// load parses and type-checks the package with the given in-module import
+// path, memoized per module.
+func (m *Module) load(path string) (*Package, error) {
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	dir := m.dirFor(path)
+	filenames, err := sourceFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg := &Package{Path: path, Dir: dir, mod: m, directives: directiveIndex{}}
+	for _, fn := range filenames {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(m.Fset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, fn)
+		pkg.directives.collect(m.Fset, f, src)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: (*moduleImporter)(m)}
+	tpkg, err := conf.Check(path, m.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// moduleImporter resolves in-module imports from the module tree and
+// everything else (the standard library) by compiling GOROOT source, so the
+// linter needs no export data and no third-party loader.
+type moduleImporter Module
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	m := (*Module)(im)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if m.inModule(path) {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}

@@ -1,0 +1,43 @@
+// Package errcheck is the golden corpus for the errcheck checker: error
+// results of in-module calls dropped on the floor.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"example.com/lintcheck/errhelper"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func valueAndError() (int, error) { return 0, nil }
+
+type store struct{}
+
+func (store) flush() error { return nil }
+
+func discards(s store) {
+	mayFail()       // want errcheck
+	valueAndError() // want errcheck
+	s.flush()       // want errcheck
+	errhelper.Do()  // want errcheck
+}
+
+func handled(s store) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := valueAndError()
+	_ = n
+	if err != nil {
+		return err
+	}
+	_ = s.flush()          // ok: explicit, visible discard
+	fmt.Println("running") // ok: callee outside the module
+	return errhelper.Do()
+}
+
+func allowAnnotated() {
+	mayFail() //lint:allow errcheck suppression demo: best-effort cleanup
+}

@@ -1,0 +1,6 @@
+// Package errhelper exists so the errcheck corpus can exercise an
+// in-module cross-package call through the module importer.
+package errhelper
+
+// Do pretends to do work that can fail.
+func Do() error { return nil }

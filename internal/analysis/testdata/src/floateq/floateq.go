@@ -1,0 +1,48 @@
+// Package floateq is the golden corpus for the floateq checker: exact
+// ==/!= comparisons between floating-point operands.
+package floateq
+
+const tol = 1e-9
+
+func exactEquality(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func exactInequality(a, b float64) bool {
+	return a != b // want floateq
+}
+
+func mixedWidths(a float64, b float32) bool {
+	return a == float64(b) // want floateq
+}
+
+func float32Pair(a, b float32) bool {
+	return a == b // want floateq
+}
+
+func zeroLiteral(f float64) bool {
+	return f == 0 // want floateq
+}
+
+func withTolerance(a, b float64) bool {
+	return abs(a-b) <= tol // ok: tolerance comparison
+}
+
+func integersAreFine(a, b int) bool {
+	return a == b // ok: exact integer comparison
+}
+
+const c1, c2 = 1.5, 2.5
+
+var constantFold = c1 == c2 // ok: both operands constant, folded exactly
+
+func allowExactZero(f float64) bool {
+	return f == 0 //lint:allow floateq suppression demo: skip-work fast path on an exactly stored zero
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module example.com/lintcheck
+
+go 1.22

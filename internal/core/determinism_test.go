@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// TestRepeatedRunFullSummaryIdentical is the determinism regression test
+// backing the proteus-lint determinism checker: two complete simulation
+// runs with the same seed must agree on *every* field of the aggregate
+// Summary and of every per-family summary — not just the headline counts —
+// plus the controller's plan history length and load accounting. Any
+// wall-clock read, unseeded randomness, or unsorted map iteration on the
+// simulated path shows up here as a field-level diff.
+func TestRepeatedRunFullSummaryIdentical(t *testing.T) {
+	run := func() *Result {
+		cfg := smallConfig(t)
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(flatTrace(t, cfg.Families, 120, 90))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+
+	// metrics.Summary is a flat value struct, so == compares every field,
+	// float64 metrics included: determinism here means bit-identical.
+	if a.Summary != b.Summary {
+		t.Errorf("aggregate summaries diverged:\n  first:  %+v\n  second: %+v", a.Summary, b.Summary)
+	}
+	if len(a.PerFamily) != len(b.PerFamily) {
+		t.Fatalf("per-family summary counts diverged: %d vs %d", len(a.PerFamily), len(b.PerFamily))
+	}
+	for i := range a.PerFamily {
+		if a.PerFamily[i] != b.PerFamily[i] {
+			t.Errorf("family %d summaries diverged:\n  first:  %+v\n  second: %+v",
+				i, a.PerFamily[i], b.PerFamily[i])
+		}
+	}
+	if len(a.Plans) != len(b.Plans) {
+		t.Errorf("plan history lengths diverged: %d vs %d", len(a.Plans), len(b.Plans))
+	}
+	if a.ModelLoads != b.ModelLoads {
+		t.Errorf("model load counts diverged: %d vs %d", a.ModelLoads, b.ModelLoads)
+	}
+	if a.ExtraDevices != b.ExtraDevices {
+		t.Errorf("provisioned device counts diverged: %d vs %d", a.ExtraDevices, b.ExtraDevices)
+	}
+}

@@ -200,7 +200,7 @@ func (h *nodeHeap) Pop() interface{} {
 // during the search but restored before returning.
 func Solve(p *Problem, opts *Options) Solution {
 	o := opts.withDefaults()
-	s := &solver{p: p, o: o, start: time.Now()}
+	s := &solver{p: p, o: o, start: time.Now()} //lint:allow determinism wall-clock TimeLimit anchor; solves are deterministic unless a time limit fires
 	if o.TimeLimit > 0 {
 		s.deadline = s.start.Add(o.TimeLimit)
 	}
@@ -264,7 +264,7 @@ func (s *solver) limitHit() bool {
 	if s.nodes >= s.o.MaxNodes {
 		return true
 	}
-	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+	return !s.deadline.IsZero() && time.Now().After(s.deadline) //lint:allow determinism wall-clock TimeLimit enforcement, the caller's explicit latency/optimality trade
 }
 
 func (s *solver) gapClosed(bound float64) bool {
@@ -288,7 +288,7 @@ func (s *solver) finish(st Status) Solution {
 		Status:  st,
 		Bound:   s.bestBound,
 		Nodes:   s.nodes,
-		Elapsed: time.Since(s.start),
+		Elapsed: time.Since(s.start), //lint:allow determinism reporting-only wall-clock measurement
 	}
 	if s.incumbent != nil {
 		sol.Objective = s.incumbentObj
