@@ -26,6 +26,7 @@ func main() {
 		clusterSz  = flag.Int("cluster", 20, "cluster size (2:1:1 CPU:1080Ti:V100)")
 		seed       = flag.Uint64("seed", 0, "random seed (0 = default)")
 		outDir     = flag.String("out", "", "directory for CSV time series (omit to skip)")
+		traceDir   = flag.String("trace-dir", "", "directory for per-system lifecycle traces (Chrome trace_event .json + .jsonl; omit to skip)")
 		budget     = flag.Duration("solver", 500*time.Millisecond, "MILP solve budget per re-allocation")
 	)
 	flag.Parse()
@@ -35,6 +36,7 @@ func main() {
 		TraceSeconds: *seconds,
 		Seed:         *seed,
 		SolverBudget: *budget,
+		Trace:        *traceDir != "",
 	}
 
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
@@ -80,6 +82,7 @@ func main() {
 			fail("fig4", err)
 		}
 		writeSeries(*outDir, "fig4", results)
+		writeTraces(*traceDir, "fig4", results)
 	}
 	if want("fig5") {
 		ran = true
@@ -92,6 +95,7 @@ func main() {
 			fail("fig5", err)
 		}
 		writeSeries(*outDir, "fig5", results)
+		writeTraces(*traceDir, "fig5", results)
 	}
 	if want("fig6") {
 		ran = true
@@ -115,6 +119,7 @@ func main() {
 			fail("fig7", err)
 		}
 		writeSeries(*outDir, "fig7", results)
+		writeTraces(*traceDir, "fig7", results)
 	}
 	if want("fig8") {
 		ran = true
@@ -179,6 +184,42 @@ func main() {
 
 func section(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// writeTraces dumps each system's lifecycle trace in both export formats:
+// Chrome trace_event JSON (chrome://tracing, Perfetto) and JSON lines.
+func writeTraces(dir, prefix string, results []proteus.SystemResult) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "proteus-bench: %v\n", err)
+		return
+	}
+	for _, r := range results {
+		if r.Trace == nil {
+			continue
+		}
+		name := strings.ReplaceAll(r.Name, "/", "-")
+		for _, ext := range []string{"json", "jsonl"} {
+			path := filepath.Join(dir, fmt.Sprintf("%s_%s.%s", prefix, name, ext))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proteus-bench: %v\n", err)
+				continue
+			}
+			if ext == "json" {
+				err = r.Trace.WriteChromeTrace(f)
+			} else {
+				err = r.Trace.WriteJSONL(f)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proteus-bench: %v\n", err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
 }
 
 func writeSeries(dir, prefix string, results []proteus.SystemResult) {

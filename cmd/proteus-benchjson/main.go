@@ -1,0 +1,122 @@
+// Command proteus-benchjson converts `go test -bench` text output on stdin
+// into a JSON baseline on stdout, so CI can archive benchmark numbers (e.g.
+// BENCH_telemetry.json, the tracer-on vs tracer-off hot-path cost) in a
+// machine-diffable form:
+//
+//	go test -bench . -benchtime 1x ./internal/telemetry/ | proteus-benchjson > BENCH_telemetry.json
+//
+// Each benchmark line becomes one entry with the name (GOMAXPROCS suffix
+// stripped), iteration count, ns/op, and any extra metrics Go reports
+// (B/op, allocs/op, custom ReportMetric units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type baseline struct {
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	Package   string   `json:"pkg,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []result `json:"results"`
+	Failed    bool     `json:"failed,omitempty"`
+	RawFooter string   `json:"-"`
+}
+
+func main() {
+	b, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proteus-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		fmt.Fprintf(os.Stderr, "proteus-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if b.Failed {
+		os.Exit(1)
+	}
+}
+
+// parse consumes the standard `go test -bench` text format: header lines
+// (goos/goarch/pkg/cpu), one line per benchmark, then ok/FAIL.
+func parse(sc *bufio.Scanner) (*baseline, error) {
+	b := &baseline{Results: []result{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			b.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			b.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			b.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			b.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseBench(line)
+			if ok {
+				b.Results = append(b.Results, r)
+			}
+		case strings.HasPrefix(line, "FAIL"):
+			b.Failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// parseBench parses one benchmark result line, e.g.
+//
+//	BenchmarkTracerEnabled-8   1000000   52.1 ns/op   0 B/op   0 allocs/op
+func parseBench(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters}
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: proteus/internal/telemetry
+cpu: AMD EPYC 7B13
+BenchmarkTracerDisabled-8   	1000000000	         0.85 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTracerEnabled-8    	21998887	        52.1 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	proteus/internal/telemetry	2.1s
+`
+
+func TestParse(t *testing.T) {
+	b, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GoOS != "linux" || b.GoArch != "amd64" || b.Package != "proteus/internal/telemetry" {
+		t.Fatalf("header: %+v", b)
+	}
+	if b.Failed {
+		t.Fatal("PASS run marked failed")
+	}
+	if len(b.Results) != 2 {
+		t.Fatalf("results: %+v", b.Results)
+	}
+	r := b.Results[1]
+	if r.Name != "BenchmarkTracerEnabled" || r.Iterations != 21998887 || r.NsPerOp != 52.1 {
+		t.Fatalf("enabled: %+v", r)
+	}
+	if r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics: %+v", r.Metrics)
+	}
+}
+
+func TestParseFailLine(t *testing.T) {
+	b, err := parse(bufio.NewScanner(strings.NewReader("FAIL\nexit status 1\n")))
+	if err != nil || !b.Failed {
+		t.Fatalf("err=%v failed=%v", err, b.Failed)
+	}
+}
+
+func TestParseBenchMalformed(t *testing.T) {
+	if _, ok := parseBench("BenchmarkBroken-8 notanumber ns/op"); ok {
+		t.Fatal("malformed line accepted")
+	}
+	if _, ok := parseBench("BenchmarkShort"); ok {
+		t.Fatal("short line accepted")
+	}
+}

@@ -17,6 +17,11 @@
 // A trace may also come from a CSV file written by proteus-traces:
 //
 //	"trace": {"kind": "csv", "path": "trace.csv"}
+//
+// Observability flags: -timeseries out.csv dumps the per-bin metric series,
+// -trace out.json (or .jsonl) dumps the per-query lifecycle trace — byte
+// identical across runs with the same config and seed — and -metrics out.txt
+// dumps the final counter snapshot.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"proteus"
@@ -125,7 +131,10 @@ func buildFaults(fc *faultConfig, cl *proteus.Cluster, traceSeconds int) (*prote
 func main() {
 	var (
 		configPath = flag.String("config", "", "path to the JSON experiment config (required)")
-		seriesOut  = flag.String("series", "", "optional CSV path for the run's time series")
+		seriesOut  = flag.String("series", "", "deprecated alias for -timeseries")
+		tsOut      = flag.String("timeseries", "", "optional CSV path for the run's per-bin time series")
+		traceOut   = flag.String("trace", "", "optional path for the telemetry trace (.jsonl = JSON lines, anything else = Chrome trace_event JSON)")
+		metricsOut = flag.String("metrics", "", "optional path for the final counter snapshot (text key-value)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -182,6 +191,14 @@ func main() {
 			fatal(fmt.Errorf("trace family %q is not in the model zoo", name))
 		}
 	}
+	var tracer *proteus.Tracer
+	if *traceOut != "" {
+		tracer = proteus.NewTracer(0)
+	}
+	var registry *proteus.TelemetryRegistry
+	if *metricsOut != "" {
+		registry = proteus.NewTelemetryRegistry()
+	}
 	sys, err := proteus.NewSystem(proteus.SystemConfig{
 		Cluster:       cl,
 		Families:      fams,
@@ -190,6 +207,8 @@ func main() {
 		Batching:      batch,
 		Faults:        faults,
 		Seed:          cfg.Seed,
+		Tracer:        tracer,
+		Telemetry:     registry,
 	})
 	if err != nil {
 		fatal(err)
@@ -212,8 +231,11 @@ func main() {
 			tr.Families[q], s.AvgThroughput, s.EffectiveAccuracy, s.ViolationRatio)
 	}
 
-	if *seriesOut != "" {
-		f, err := os.Create(*seriesOut)
+	if *tsOut == "" {
+		*tsOut = *seriesOut
+	}
+	if *tsOut != "" {
+		f, err := os.Create(*tsOut)
 		if err != nil {
 			fatal(err)
 		}
@@ -221,8 +243,40 @@ func main() {
 		if err := proteus.RenderSeriesCSV(f, cfg.ModelAllocation, res.Collector.Series(-1)); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *seriesOut)
+		fmt.Printf("wrote %s\n", *tsOut)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped)\n", *traceOut, tracer.Len(), tracer.Dropped())
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := registry.WriteText(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+}
+
+// writeTrace dumps the recorded lifecycle events: JSON lines when the path
+// ends in .jsonl, Chrome trace_event JSON (load into chrome://tracing or
+// Perfetto) otherwise. Output is byte-stable for a fixed seed and config.
+func writeTrace(path string, tr *proteus.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return tr.WriteJSONL(f)
+	}
+	return tr.WriteChromeTrace(f)
 }
 
 func applyDefaults(cfg *config) {

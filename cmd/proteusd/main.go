@@ -6,6 +6,10 @@
 //	GET  /v1/stats                 run metrics so far
 //	GET  /v1/allocation            current device → variant plan
 //	GET  /v1/families              registered applications
+//	GET  /metrics                  counter/gauge snapshot (text key-value)
+//	GET  /healthz                  device health mask (503 when all down)
+//	GET  /debug/allocations        controller decision audit log (JSON)
+//	GET  /debug/pprof/             Go runtime profiles
 //
 // With -drive it also generates client load against itself for the given
 // duration and prints the resulting summary, exercising the full data path

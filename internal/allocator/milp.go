@@ -160,6 +160,7 @@ func (m *MILP) Allocate(in *Input) (*Allocation, error) {
 			return nil, err
 		}
 		if alloc != nil {
+			alloc.Stats.Backoffs = iter
 			total, served := 0.0, 0.0
 			for q := range alloc.Routing {
 				if in.Demand[q] <= 0 {
@@ -392,6 +393,7 @@ func (m *MILP) solveAggregated(in *Input, demand []float64) (*Allocation, []bool
 
 	alloc := NewAllocation(in)
 	alloc.Optimal = sol.Status == milp.Optimal
+	alloc.Stats = solverStats(&sol)
 	// Expand group counts to concrete devices, preferring devices that
 	// already host the same variant (minimizes loading churn).
 	used := make(map[int]bool)
@@ -551,6 +553,7 @@ func (m *MILP) solvePerDevice(in *Input, demand []float64) (*Allocation, []bool,
 
 	alloc := NewAllocation(in)
 	alloc.Optimal = sol.Status == milp.Optimal
+	alloc.Stats = solverStats(&sol)
 	for _, pr := range pairs {
 		if sol.X[pr.x] < 0.5 {
 			continue
@@ -611,6 +614,25 @@ func (m *MILP) pickDevices(group []int, ref VariantRef, count int, used map[int]
 		used[d] = true
 	}
 	return picked
+}
+
+// solverStats converts a branch-and-bound solution into the audit-log
+// form, sanitizing infinities (a Limit-terminated solve may carry an
+// unproven +Inf bound, which JSON cannot encode).
+func solverStats(sol *milp.Solution) SolverStats {
+	st := SolverStats{
+		Objective:  sol.Objective,
+		Nodes:      sol.Nodes,
+		SolverTime: sol.Elapsed,
+		RelGap:     -1,
+	}
+	if gap := sol.Gap(); !math.IsInf(gap, 0) && !math.IsNaN(gap) {
+		st.RelGap = gap
+	}
+	if !math.IsInf(sol.Bound, 0) && !math.IsNaN(sol.Bound) {
+		st.Bound = sol.Bound
+	}
+	return st
 }
 
 func predictedAccuracy(objective float64, demand []float64) float64 {

@@ -89,6 +89,29 @@ func (in *Input) TotalDemand() float64 {
 	return t
 }
 
+// SolverStats reports how an optimizing allocator computed its plan, for
+// the control plane's decision audit log. Heuristic and static allocators
+// leave it zero. All fields are JSON-safe: infinities from the solver
+// (e.g. no proven bound) are encoded as RelGap = -1 and Bound = 0.
+type SolverStats struct {
+	// Objective is the incumbent objective value of the final solve.
+	Objective float64 `json:"objective"`
+	// Bound is the best proven bound on the optimum (0 when unproven).
+	Bound float64 `json:"bound"`
+	// RelGap is the relative optimality gap of the final solve, or -1 when
+	// no bound was proven.
+	RelGap float64 `json:"rel_gap"`
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int `json:"nodes"`
+	// Backoffs is how many β demand-reduction iterations ran before the
+	// final (feasible) solve.
+	Backoffs int `json:"backoffs"`
+	// SolverTime is the time spent inside the final branch-and-bound solve;
+	// Allocation.SolveTime additionally covers warm-start heuristics,
+	// polishing and every back-off iteration.
+	SolverTime time.Duration `json:"solver_time_ns"`
+}
+
 // Allocation is a complete resource-management plan.
 type Allocation struct {
 	// Hosted[d] is the variant placed on device d, or nil for an idle
@@ -111,6 +134,9 @@ type Allocation struct {
 	// Optimal reports whether the plan is proven optimal for its
 	// formulation (always false for heuristic allocators).
 	Optimal bool
+	// Stats carries solver internals for the decision audit log (zero for
+	// heuristic and static allocators).
+	Stats SolverStats
 }
 
 // NewAllocation returns an empty plan shaped for the input.

@@ -9,12 +9,14 @@ package controlplane
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"proteus/internal/allocator"
 	"proteus/internal/cluster"
 	"proteus/internal/models"
 	"proteus/internal/router"
+	"proteus/internal/telemetry"
 )
 
 // Stats is the statistics collector: one monitoring daemon per family.
@@ -69,19 +71,49 @@ func (s *Stats) SetPlanned(served []float64) error {
 	return nil
 }
 
-// PlanRecord summarizes one re-allocation for experiment reporting.
+// DeviceChange is one device's hosting transition in an allocation diff.
+// Empty From/To mean the device was (or became) idle.
+type DeviceChange struct {
+	Device int    `json:"device"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+}
+
+// PlanRecord is one entry of the controller's decision audit log: what was
+// decided, why (trigger), by which stage of the solver chain, at what
+// solver cost, and how the fleet changed relative to the previous plan.
 type PlanRecord struct {
-	At                time.Duration
-	Demand            []float64
-	PredictedAccuracy float64
-	DemandScale       float64
-	SolveTime         time.Duration
-	Trigger           string // "initial", "periodic", "burst", "failure", "recovery"
+	At                time.Duration `json:"at_ns"`
+	Demand            []float64     `json:"demand"`
+	PredictedAccuracy float64       `json:"predicted_accuracy"`
+	DemandScale       float64       `json:"demand_scale"`
+	SolveTime         time.Duration `json:"solve_time_ns"`
+	Trigger           string        `json:"trigger"` // "initial", "periodic", "burst", "failure", "recovery"
 	// Solver names the allocator that produced the plan: the primary's name,
 	// "<name> (fallback)" when the fallback stepped in, or "carry-forward"
 	// when the last feasible plan was projected onto the surviving devices.
-	Solver         string
-	HostedVariants map[string]int
+	Solver string `json:"solver"`
+	// Stage identifies which link of the MILP → greedy → carry-forward chain
+	// produced the plan: "primary", "fallback", "carry-forward", or "error"
+	// for an audit record of a fully failed solve (no plan produced).
+	Stage string `json:"stage"`
+	// Err preserves the solve error for fallback / carry-forward / error
+	// records.
+	Err string `json:"error,omitempty"`
+	// Stats carries branch-and-bound internals (objective, bound, gap,
+	// nodes, backoffs) when an optimizing allocator produced the plan.
+	Stats          allocator.SolverStats `json:"solver_stats"`
+	HostedVariants map[string]int        `json:"hosted_variants"`
+	// Changes lists every device whose hosted variant differs from the
+	// previous plan (the whole fleet on the first plan). Loads counts
+	// transitions onto a variant, Unloads transitions off one.
+	Changes []DeviceChange `json:"changes,omitempty"`
+	Loads   int            `json:"loads"`
+	Unloads int            `json:"unloads"`
+	// RoutingDelta is the total L1 distance between this plan's routing
+	// matrix and the previous one — 0 for identical query assignment, up to
+	// 2·families when every family moved all its traffic.
+	RoutingDelta float64 `json:"routing_delta"`
 }
 
 // Controller owns the allocator and the re-allocation schedule.
@@ -107,7 +139,13 @@ type Controller struct {
 
 	last    time.Duration
 	started bool
+
+	// mu guards history: the control loop appends while introspection
+	// endpoints (/debug/allocations) read concurrently.
+	mu      sync.Mutex
 	history []PlanRecord
+
+	counters telemetry.ControlCounters
 }
 
 // NewController builds a controller. Period defaults to 30 s, cooldown to
@@ -140,6 +178,12 @@ func (c *Controller) Allocator() allocator.Allocator { return c.alloc }
 // Passing nil disables the fallback stage (the carry-forward stage remains).
 func (c *Controller) SetFallback(a allocator.Allocator) { c.fallback = a }
 
+// Instrument resolves the controller's counters from a telemetry registry
+// (a nil registry leaves them inert). Call before the first Reallocate.
+func (c *Controller) Instrument(r *telemetry.Registry) {
+	c.counters = telemetry.NewControlCounters(r)
+}
+
 // SetCluster replaces the device fleet for subsequent re-allocations (the
 // §7 hardware-scaling extension grows it when provisioned servers arrive).
 func (c *Controller) SetCluster(cl *cluster.Cluster) { c.cluster = cl }
@@ -168,40 +212,48 @@ func (c *Controller) Reallocate(now time.Duration, demand []float64, trigger str
 		Demand:   demand,
 	}
 	plan, err := c.alloc.Allocate(in)
-	solver := c.alloc.Name()
+	solver, stage := c.alloc.Name(), "primary"
+	var stageErr string
 	if err != nil {
 		solveErr := err
+		stageErr = err.Error()
 		plan = nil
 		if c.fallback != nil {
 			fb, ferr := c.fallback.Allocate(in)
 			if ferr == nil {
-				plan, solver = fb, c.fallback.Name()+" (fallback)"
+				plan, solver, stage = fb, c.fallback.Name()+" (fallback)", "fallback"
+				c.counters.FallbackPlans.Inc()
 			} else {
 				solveErr = fmt.Errorf("%w; fallback %s: %v", err, c.fallback.Name(), ferr)
+				stageErr = solveErr.Error()
 			}
 		}
 		if plan == nil && c.lastPlan != nil {
-			plan, solver = allocator.ProjectHealthy(c.lastPlan, in), "carry-forward"
+			plan, solver, stage = allocator.ProjectHealthy(c.lastPlan, in), "carry-forward", "carry-forward"
+			c.counters.CarryForwardPlans.Inc()
 		}
 		if plan == nil {
 			// Record the attempt so the cooldown applies to failed solves
 			// too; without this an erroring allocator is re-invoked at every
-			// tick with no backoff.
+			// tick with no backoff. The failed attempt still enters the audit
+			// log (Stage "error") so operators can see every control period.
 			c.last = now
 			c.started = true
+			c.counters.FailedSolves.Inc()
+			c.append(PlanRecord{
+				At:      now,
+				Demand:  append([]float64(nil), demand...),
+				Trigger: trigger,
+				Solver:  "none",
+				Stage:   "error",
+				Err:     stageErr,
+			})
 			return nil, solveErr
 		}
 	}
 	c.last = now
 	c.started = true
-	c.lastPlan = plan
-	counts := map[string]int{}
-	for d := range plan.Hosted {
-		if id := plan.HostedID(d); id != "" {
-			counts[id]++
-		}
-	}
-	c.history = append(c.history, PlanRecord{
+	rec := PlanRecord{
 		At:                now,
 		Demand:            append([]float64(nil), demand...),
 		PredictedAccuracy: plan.PredictedAccuracy,
@@ -209,19 +261,87 @@ func (c *Controller) Reallocate(now time.Duration, demand []float64, trigger str
 		SolveTime:         plan.SolveTime,
 		Trigger:           trigger,
 		Solver:            solver,
-		HostedVariants:    counts,
-	})
+		Stage:             stage,
+		Err:               stageErr,
+		Stats:             plan.Stats,
+		HostedVariants:    map[string]int{},
+	}
+	for d := range plan.Hosted {
+		if id := plan.HostedID(d); id != "" {
+			rec.HostedVariants[id]++
+		}
+	}
+	diffPlans(&rec, c.lastPlan, plan)
+	c.lastPlan = plan
+	c.counters.Reallocations.Inc()
+	c.append(rec)
 	return plan, nil
+}
+
+// diffPlans fills rec's allocation-diff fields (per-device hosting
+// transitions, load/unload counts, routing L1 distance) comparing the new
+// plan against the previous one. A nil previous plan diffs against an idle
+// fleet, so the first plan's record lists every initial placement.
+func diffPlans(rec *PlanRecord, prev, next *allocator.Allocation) {
+	prevHosted := func(d int) string {
+		if prev == nil || d >= len(prev.Hosted) {
+			return ""
+		}
+		return prev.HostedID(d)
+	}
+	for d := range next.Hosted {
+		from, to := prevHosted(d), next.HostedID(d)
+		if from == to {
+			continue
+		}
+		rec.Changes = append(rec.Changes, DeviceChange{Device: d, From: from, To: to})
+		if to != "" {
+			rec.Loads++
+		}
+		if from != "" {
+			rec.Unloads++
+		}
+	}
+	for q := range next.Routing {
+		for d, y := range next.Routing[q] {
+			old := 0.0
+			if prev != nil && q < len(prev.Routing) && d < len(prev.Routing[q]) {
+				old = prev.Routing[q][d]
+			}
+			diff := y - old
+			if diff < 0 {
+				diff = -diff
+			}
+			rec.RoutingDelta += diff
+		}
+	}
+}
+
+// append adds a record to the audit log under the history lock.
+func (c *Controller) append(rec PlanRecord) {
+	c.mu.Lock()
+	c.history = append(c.history, rec)
+	c.mu.Unlock()
 }
 
 // DemandChanged reports whether the demand estimate differs from the last
 // plan's target by more than the relative threshold for any family (with an
 // absolute floor of 1 QPS so idle families do not trigger churn).
 func (c *Controller) DemandChanged(demand []float64, threshold float64) bool {
-	if len(c.history) == 0 {
+	c.mu.Lock()
+	var last []float64
+	// Error records audit failed attempts; no plan was produced for their
+	// demand, so they don't count as the baseline.
+	for i := len(c.history) - 1; i >= 0; i-- {
+		if c.history[i].Stage != "error" {
+			last = c.history[i].Demand
+			break
+		}
+	}
+	c.mu.Unlock()
+	if last == nil {
 		return true
 	}
-	last := c.history[len(c.history)-1].Demand
 	if len(last) != len(demand) {
 		return true
 	}
@@ -261,5 +381,10 @@ func (c *Controller) CooldownRemaining(now time.Duration) time.Duration {
 	return rem
 }
 
-// History returns the re-allocation records so far.
-func (c *Controller) History() []PlanRecord { return c.history }
+// History returns a copy of the re-allocation audit log so far. Safe to
+// call concurrently with Reallocate.
+func (c *Controller) History() []PlanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]PlanRecord(nil), c.history...)
+}

@@ -15,6 +15,7 @@ import (
 	"proteus/internal/cluster"
 	"proteus/internal/models"
 	"proteus/internal/profiles"
+	"proteus/internal/telemetry"
 )
 
 // Config describes one simulated serving system.
@@ -68,6 +69,13 @@ type Config struct {
 	// overload to pile up in worker queues. Exists for the design-ablation
 	// experiments; production behaviour is admission on.
 	DisableAdmission bool
+	// Tracer, when non-nil, records every query's lifecycle events
+	// (arrival → route → enqueue → batch → done/late/dropped) on the virtual
+	// clock. Seeded runs with identical configs produce identical traces.
+	Tracer *telemetry.Tracer
+	// Telemetry, when non-nil, is the counters/gauges registry the system
+	// (router, batching, workers, control plane) increments during the run.
+	Telemetry *telemetry.Registry
 	// Seed drives all simulator randomness (routing, arrival expansion).
 	Seed uint64
 }

@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"proteus/internal/telemetry"
+)
 
 // TestRepeatedRunFullSummaryIdentical is the determinism regression test
 // backing the proteus-lint determinism checker: two complete simulation
@@ -46,5 +51,65 @@ func TestRepeatedRunFullSummaryIdentical(t *testing.T) {
 	}
 	if a.ExtraDevices != b.ExtraDevices {
 		t.Errorf("provisioned device counts diverged: %d vs %d", a.ExtraDevices, b.ExtraDevices)
+	}
+}
+
+// TestRepeatedRunTraceByteIdentical is the telemetry determinism contract:
+// two complete simulation runs with the same seed and config must emit
+// byte-identical lifecycle traces in both export formats. Trace events carry
+// virtual timestamps, monotonic sequence numbers, and query/device/batch
+// identities, so any nondeterminism in arrival synthesis, routing, batching,
+// or the control plane shows up here as a byte diff.
+func TestRepeatedRunTraceByteIdentical(t *testing.T) {
+	run := func() (*telemetry.Tracer, *telemetry.Registry) {
+		cfg := smallConfig(t)
+		cfg.Tracer = telemetry.NewTracer(1 << 16)
+		cfg.Telemetry = telemetry.NewRegistry()
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(flatTrace(t, cfg.Families, 120, 90)); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Tracer, cfg.Telemetry
+	}
+	tr1, reg1 := run()
+	tr2, reg2 := run()
+	if tr1.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+
+	var a, b bytes.Buffer
+	for name, write := range map[string]func(*telemetry.Tracer, *bytes.Buffer) error{
+		"jsonl":  func(tr *telemetry.Tracer, w *bytes.Buffer) error { return tr.WriteJSONL(w) },
+		"chrome": func(tr *telemetry.Tracer, w *bytes.Buffer) error { return tr.WriteChromeTrace(w) },
+	} {
+		a.Reset()
+		b.Reset()
+		if err := write(tr1, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := write(tr2, &b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s traces diverged (%d vs %d bytes)", name, a.Len(), b.Len())
+		}
+	}
+
+	a.Reset()
+	b.Reset()
+	if err := reg1.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("no counters exported")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("counter snapshots diverged:\n  first:\n%s\n  second:\n%s", a.String(), b.String())
 	}
 }

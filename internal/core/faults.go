@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"proteus/internal/allocator"
+	"proteus/internal/telemetry"
 )
 
 // failDevice takes device d down at the current simulation time: its queued
@@ -18,6 +19,7 @@ func (s *System) failDevice(d int) {
 	s.down[d] = true
 	s.controller.SetCluster(s.controller.Cluster().WithHealth(s.down))
 	s.collector.DeviceFailed(now)
+	s.tc.DevicesUp.Set(s.healthyCount())
 	stranded := s.workers[d].fail()
 	s.rebuildTable()
 	for _, q := range stranded {
@@ -38,6 +40,7 @@ func (s *System) recoverDevice(d int) {
 	s.down[d] = false
 	s.controller.SetCluster(s.controller.Cluster().WithHealth(s.down))
 	s.collector.DeviceRecovered(now)
+	s.tc.DevicesUp.Set(s.healthyCount())
 	w := s.workers[d]
 	var ref *allocator.VariantRef
 	if d < len(s.plan.Hosted) {
@@ -59,13 +62,28 @@ func (s *System) recoverDevice(d int) {
 // surviving replica otherwise.
 func (s *System) requeue(now time.Duration, q query) {
 	s.collector.Requeued(now, q.family)
+	s.tc.Requeued.Inc()
+	s.tracer.Record(now, telemetry.EvRequeued, q.id, q.family, -1, -1)
 	if q.retries >= 1 || q.deadline <= now {
 		s.dropQuery(now, q)
 		return
 	}
 	q.retries++
 	s.collector.Retried(now, q.family)
+	s.tc.Retried.Inc()
+	s.tracer.Record(now, telemetry.EvRetried, q.id, q.family, -1, -1)
 	s.route(now, q)
+}
+
+// healthyCount returns how many devices are currently up.
+func (s *System) healthyCount() int64 {
+	n := int64(0)
+	for _, d := range s.down {
+		if !d {
+			n++
+		}
+	}
+	return n
 }
 
 // faultRealloc requests a failure- or recovery-triggered re-allocation. If

@@ -13,6 +13,7 @@ import (
 	"proteus/internal/profiles"
 	"proteus/internal/router"
 	"proteus/internal/simulation"
+	"proteus/internal/telemetry"
 	"proteus/internal/trace"
 )
 
@@ -31,8 +32,15 @@ type System struct {
 	collector    *metrics.Collector
 	profileStore *profiles.Store
 
-	nextID     uint64
-	reallocErr error
+	nextID      uint64
+	nextBatchID int
+	reallocErr  error
+
+	// Telemetry: tracer and counter bundles are nil-safe, so an
+	// uninstrumented run pays only a nil check per event.
+	tracer *telemetry.Tracer
+	tc     telemetry.SystemCounters
+	rc     telemetry.RouterCounters
 
 	// Failure state: down[d] marks device d as failed; pendingFaultRetry
 	// tracks a fault-triggered re-allocation deferred by the cooldown, with
@@ -58,6 +66,9 @@ func NewSystem(cfg Config) (*System, error) {
 		engine: simulation.NewEngine(),
 		rng:    numeric.NewRNG(cfg.Seed),
 		slos:   cfg.SLOs(),
+		tracer: cfg.Tracer,
+		tc:     telemetry.NewSystemCounters(cfg.Telemetry),
+		rc:     telemetry.NewRouterCounters(cfg.Telemetry),
 	}
 	s.collector = metrics.NewCollector(cfg.MetricsInterval, cfg.FamilyNames())
 	// The controller's model profiler (§3): every (variant, device type,
@@ -77,6 +88,8 @@ func NewSystem(cfg Config) (*System, error) {
 	s.stats = controlplane.NewStats(len(cfg.Families), int(cfg.DemandWindow/time.Second), cfg.BurstFactor)
 	s.controller = controlplane.NewController(
 		cfg.Allocator, cfg.Cluster, cfg.Families, s.slos, cfg.ControlPeriod, cfg.BurstCooldown)
+	s.controller.Instrument(cfg.Telemetry)
+	s.tc.DevicesUp.Set(int64(cfg.Cluster.Size()))
 	for _, dev := range cfg.Cluster.Devices() {
 		s.workers = append(s.workers, &worker{sys: s, dev: dev, policy: cfg.Batching()})
 	}
@@ -215,6 +228,8 @@ func (s *System) onArrival(a trace.Arrival) {
 		deadline: now + s.slos[a.Family],
 	}
 	s.nextID++
+	s.tc.Arrivals.Inc()
+	s.tracer.Record(now, telemetry.EvArrival, q.id, q.family, -1, -1)
 	s.route(now, q)
 
 	// Burst detection on the data path's monitoring daemon (§3).
@@ -229,6 +244,7 @@ func (s *System) route(now time.Duration, q query) {
 		s.dropQuery(now, q)
 		return
 	}
+	s.tracer.Record(now, telemetry.EvRoute, q.id, q.family, d, -1)
 	s.workers[d].enqueue(q)
 }
 
@@ -300,6 +316,7 @@ func (s *System) provisionDevice() {
 func (s *System) applyPlan(plan *allocator.Allocation, initial bool) {
 	now := s.engine.Now()
 	s.plan = plan
+	s.tc.DemandScaleMilli.Set(int64(plan.DemandScale * 1000))
 	if err := s.stats.SetPlanned(plan.ServedQPS); err != nil {
 		// Plans come from our own controller so the shapes always agree;
 		// surface any disagreement as a run error rather than panicking.
@@ -368,6 +385,7 @@ func (s *System) rebuildTable() {
 		}
 	}
 	s.table = router.BuildTable(&masked, len(s.cfg.Families))
+	s.table.SetCounters(s.rc)
 	if s.cfg.DisableAdmission {
 		for q := range admit {
 			if admit[q] > 0 {
@@ -382,12 +400,18 @@ func (s *System) rebuildTable() {
 
 func (s *System) dropQuery(now time.Duration, q query) {
 	s.collector.Dropped(now, q.family)
+	s.tc.Dropped.Inc()
+	s.tracer.Record(now, telemetry.EvDropped, q.id, q.family, -1, -1)
 }
 
-func (s *System) serveQuery(now time.Duration, q query, accuracy float64) {
+func (s *System) serveQuery(now time.Duration, q query, accuracy float64, device, batch int) {
 	s.collector.Served(now, q.family, accuracy, now-q.arrival)
+	s.tc.Served.Inc()
+	s.tracer.Record(now, telemetry.EvDone, q.id, q.family, device, batch)
 }
 
-func (s *System) lateQuery(now time.Duration, q query) {
+func (s *System) lateQuery(now time.Duration, q query, device, batch int) {
 	s.collector.Late(now, q.family, now-q.arrival)
+	s.tc.Late.Inc()
+	s.tracer.Record(now, telemetry.EvLate, q.id, q.family, device, batch)
 }

@@ -8,6 +8,7 @@ import (
 	"proteus/internal/cluster"
 	"proteus/internal/profiles"
 	"proteus/internal/simulation"
+	"proteus/internal/telemetry"
 )
 
 // query is one inference request flowing through the system.
@@ -99,6 +100,7 @@ func (w *worker) setHosted(ref *allocator.VariantRef, now time.Duration) {
 	w.memBatch = profiles.MaxMemoryBatch(w.dev.Spec, ref.Variant)
 	w.loadingUntil = now + w.sys.cfg.ModelLoadDelay
 	w.loads++
+	w.sys.tc.ModelLoads.Inc()
 }
 
 // maxProfiledBatch bounds the profiler's pre-computed batch range; larger
@@ -122,7 +124,9 @@ func (w *worker) enqueue(q query) {
 		w.sys.requeue(w.sys.engine.Now(), q)
 		return
 	}
-	w.noteArrival(w.sys.engine.Now())
+	now := w.sys.engine.Now()
+	w.noteArrival(now)
+	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1)
 	w.queue = append(w.queue, q)
 	w.evaluate()
 }
@@ -234,12 +238,15 @@ func (w *worker) evaluate() {
 	}
 	d := w.policy.Decide(&ctx)
 	if len(d.Drop) > 0 {
+		w.sys.tc.BatchDrops.Add(int64(len(d.Drop)))
 		w.applyDrops(now, d.Drop)
 	}
 	switch d.Action {
 	case batching.Idle:
+		w.sys.tc.BatchIdles.Inc()
 		w.cancelWake()
 	case batching.Wait:
+		w.sys.tc.BatchWaits.Inc()
 		w.cancelWake()
 		at := d.WakeAt
 		if at <= now {
@@ -250,6 +257,7 @@ func (w *worker) evaluate() {
 			w.evaluate()
 		})
 	case batching.Execute:
+		w.sys.tc.BatchExecutes.Inc()
 		w.cancelWake()
 		w.execute(now, d.BatchSize)
 	}
@@ -282,6 +290,17 @@ func (w *worker) execute(now time.Duration, b int) {
 	copy(batch, w.queue[:b])
 	w.queue = append(w.queue[:0], w.queue[b:]...)
 
+	batchID := w.sys.nextBatchID
+	w.sys.nextBatchID++
+	w.sys.tc.Batches.Inc()
+	w.sys.tc.BatchQueries.Add(int64(b))
+	if w.sys.tracer != nil {
+		for _, q := range batch {
+			w.sys.tracer.Record(now, telemetry.EvBatchFormed, q.id, q.family, w.dev.ID, batchID)
+			w.sys.tracer.Record(now, telemetry.EvExecStart, q.id, q.family, w.dev.ID, batchID)
+		}
+	}
+
 	accuracy := w.hosted.Variant.Accuracy
 	done := now + w.procTime(b)
 	w.busy = true
@@ -294,9 +313,9 @@ func (w *worker) execute(now time.Duration, b int) {
 		violations := 0
 		for _, q := range batch {
 			if done <= q.deadline {
-				w.sys.serveQuery(done, q, accuracy)
+				w.sys.serveQuery(done, q, accuracy, w.dev.ID, batchID)
 			} else {
-				w.sys.lateQuery(done, q)
+				w.sys.lateQuery(done, q, w.dev.ID, batchID)
 				violations++
 			}
 		}

@@ -56,7 +56,7 @@ func Fig6(o Options) ([]Fig6Point, error) {
 			if err != nil {
 				return nil, err
 			}
-			sys, err := o.newSystem("ilp", factory, o.Seed+7)
+			sys, _, err := o.newSystem("ilp", factory, o.Seed+7)
 			if err != nil {
 				return nil, err
 			}

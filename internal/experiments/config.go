@@ -17,6 +17,7 @@ import (
 	"proteus/internal/core"
 	"proteus/internal/models"
 	"proteus/internal/profiles"
+	"proteus/internal/telemetry"
 	"proteus/internal/trace"
 )
 
@@ -42,6 +43,10 @@ type Options struct {
 	// SolverBudget bounds each MILP solve inside the control loop.
 	// Default 500ms.
 	SolverBudget time.Duration
+	// Trace attaches a lifecycle tracer to each end-to-end system run; the
+	// recorded events come back in SystemResult.Trace for the caller to
+	// export. Off by default (tracing a 5-system figure holds five buffers).
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -124,11 +129,16 @@ func (o Options) burstyTrace() *trace.Trace {
 }
 
 // newSystem assembles a simulated serving system for the named allocation
-// policy and batching factory.
-func (o Options) newSystem(allocName string, batch batching.Factory, seed uint64) (*core.System, error) {
+// policy and batching factory, returning the attached tracer (nil unless
+// Options.Trace is set).
+func (o Options) newSystem(allocName string, batch batching.Factory, seed uint64) (*core.System, *telemetry.Tracer, error) {
 	alloc, err := allocator.ByName(allocName, o.milpOptions())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var tracer *telemetry.Tracer
+	if o.Trace {
+		tracer = telemetry.NewTracer(0)
 	}
 	cfg := core.Config{
 		Cluster:       cluster.ScaledTestbed(o.ClusterSize),
@@ -137,8 +147,10 @@ func (o Options) newSystem(allocName string, batch batching.Factory, seed uint64
 		Allocator:     alloc,
 		Batching:      batch,
 		Seed:          seed,
+		Tracer:        tracer,
 	}
-	return core.NewSystem(cfg)
+	sys, err := core.NewSystem(cfg)
+	return sys, tracer, err
 }
 
 // allocByName builds an allocator with the experiment's solver options.

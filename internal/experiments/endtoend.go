@@ -6,6 +6,7 @@ import (
 	"proteus/internal/batching"
 	"proteus/internal/metrics"
 	"proteus/internal/models"
+	"proteus/internal/telemetry"
 	"proteus/internal/trace"
 )
 
@@ -21,10 +22,12 @@ type SystemResult struct {
 	Plans        int
 	// AvgSolveTime is the mean resource-manager solve time (§6.8).
 	AvgSolveTime float64 // seconds
+	// Trace holds the run's lifecycle events when Options.Trace is set.
+	Trace *telemetry.Tracer
 }
 
 func runOne(o Options, name string, batch batching.Factory, tr *trace.Trace) (SystemResult, error) {
-	sys, err := o.newSystem(allocNameOf(name), batch, o.Seed+1)
+	sys, tracer, err := o.newSystem(allocNameOf(name), batch, o.Seed+1)
 	if err != nil {
 		return SystemResult{}, err
 	}
@@ -39,6 +42,7 @@ func runOne(o Options, name string, batch batching.Factory, tr *trace.Trace) (Sy
 		Series:     res.Collector.Series(-1),
 		ModelLoads: res.ModelLoads,
 		Plans:      len(res.Plans),
+		Trace:      tracer,
 	}
 	for q := range res.PerFamily {
 		out.FamilySeries = append(out.FamilySeries, res.Collector.Series(q))

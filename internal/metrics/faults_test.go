@@ -30,9 +30,13 @@ func TestFailureCounters(t *testing.T) {
 		t.Fatalf("summary string omits failure info: %s", s.String())
 	}
 
-	// Per-family summaries carry no device-level failure stats.
-	if f := c.Summarize(0); f.Failures != 0 || f.Requeued != 0 {
-		t.Fatalf("per-family summary leaked failure counters: %+v", f)
+	// Per-family summaries carry no device-level failure stats but do
+	// report that family's requeue/retry counts.
+	if f := c.Summarize(0); f.Failures != 0 || f.Recoveries != 0 || f.Requeued != 1 || f.Retried != 1 {
+		t.Fatalf("per-family summary for family 0: %+v", f)
+	}
+	if f := c.Summarize(1); f.Failures != 0 || f.Requeued != 1 || f.Retried != 0 {
+		t.Fatalf("per-family summary for family 1: %+v", f)
 	}
 }
 

@@ -9,6 +9,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -20,9 +21,17 @@ type Collector struct {
 	families []string
 	bins     []*bin
 
-	// Failure accounting (not binned: device-level events are sparse).
+	// lats[f] holds every completed query's end-to-end latency for family f
+	// (served and late alike), for mean and percentile reporting.
+	lats [][]time.Duration
+
+	// Failure accounting. Device-level events (failures, recoveries) are
+	// aggregate-only: a failure takes down every family hosted there.
+	// Requeue/retry are query-level and tracked per family as well.
 	failures   int
 	recoveries int
+	requeuedF  []int
+	retriedF   []int
 	requeued   int
 	retried    int
 	// pendingFail holds the times of failures whose re-allocation has not
@@ -38,9 +47,6 @@ type bin struct {
 	late     []int // completed after the deadline
 	dropped  []int // never completed
 	accSum   []float64
-	// latSum accumulates response latency of completed queries (served+late).
-	latSum time.Duration
-	nDone  int
 }
 
 // NewCollector returns a collector with the given bin width and family
@@ -49,7 +55,13 @@ func NewCollector(interval time.Duration, families []string) *Collector {
 	if interval <= 0 {
 		panic("metrics: interval must be positive")
 	}
-	return &Collector{interval: interval, families: append([]string(nil), families...)}
+	return &Collector{
+		interval:  interval,
+		families:  append([]string(nil), families...),
+		lats:      make([][]time.Duration, len(families)),
+		requeuedF: make([]int, len(families)),
+		retriedF:  make([]int, len(families)),
+	}
 }
 
 // Interval returns the bin width.
@@ -95,8 +107,7 @@ func (c *Collector) Served(t time.Duration, f int, accuracy float64, latency tim
 	b := c.binAt(t)
 	b.served[f]++
 	b.accSum[f] += accuracy
-	b.latSum += latency
-	b.nDone++
+	c.lats[f] = append(c.lats[f], latency)
 }
 
 // Late records a query of family f completing after its deadline at time t.
@@ -105,8 +116,7 @@ func (c *Collector) Late(t time.Duration, f int, latency time.Duration) {
 	c.checkFamily(f)
 	b := c.binAt(t)
 	b.late[f]++
-	b.latSum += latency
-	b.nDone++
+	c.lats[f] = append(c.lats[f], latency)
 }
 
 // Dropped records a query of family f dropped (never executed) at time t.
@@ -130,6 +140,7 @@ func (c *Collector) DeviceRecovered(t time.Duration) { c.recoveries++ }
 func (c *Collector) Requeued(t time.Duration, f int) {
 	c.checkFamily(f)
 	c.requeued++
+	c.requeuedF[f]++
 }
 
 // Retried records a query of family f re-dispatched to another replica at
@@ -137,6 +148,7 @@ func (c *Collector) Requeued(t time.Duration, f int) {
 func (c *Collector) Retried(t time.Duration, f int) {
 	c.checkFamily(f)
 	c.retried++
+	c.retriedF[f]++
 }
 
 // FailureHandled records that a failure-triggered re-allocation took effect
@@ -218,14 +230,21 @@ type Summary struct {
 	MaxAccuracyDrop float64
 	// ViolationRatio is (late + dropped) / arrivals.
 	ViolationRatio float64
-	// MeanLatency is the mean completion latency of executed queries.
+	// MeanLatency is the mean completion latency of executed queries;
+	// P50/P95/P99Latency are nearest-rank percentiles over the same
+	// population (0 when nothing completed).
 	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P95Latency  time.Duration
+	P99Latency  time.Duration
 
-	// Failure accounting (aggregate only; zero for per-family summaries).
+	// Device failure accounting (aggregate only; zero for per-family
+	// summaries — a device failure is not attributable to one family).
 	Failures   int
 	Recoveries int
 	// Requeued counts queries returned to the router by a failed device;
 	// Retried counts those successfully re-dispatched to another replica.
+	// Both are per-family in per-family summaries.
 	Requeued int
 	Retried  int
 	// MeanTimeToRecover is the mean delay from a device failure to the
@@ -240,8 +259,6 @@ func (c *Collector) Summarize(family int) Summary {
 	var s Summary
 	var accSum float64
 	minBinAcc := math.Inf(1)
-	var latSum time.Duration
-	var nDone int
 	for _, b := range c.bins {
 		var binServed int
 		var binAcc float64
@@ -262,10 +279,19 @@ func (c *Collector) Summarize(family int) Summary {
 				minBinAcc = a
 			}
 		}
-		if family < 0 {
-			latSum += b.latSum
-			nDone += b.nDone
+	}
+	var lats []time.Duration
+	if family < 0 {
+		total := 0
+		for _, l := range c.lats {
+			total += len(l)
 		}
+		lats = make([]time.Duration, 0, total)
+		for _, l := range c.lats {
+			lats = append(lats, l...)
+		}
+	} else {
+		lats = append([]time.Duration(nil), c.lats[family]...)
 	}
 	dur := time.Duration(len(c.bins)) * c.interval
 	if dur > 0 {
@@ -281,8 +307,16 @@ func (c *Collector) Summarize(family int) Summary {
 	if s.Queries > 0 {
 		s.ViolationRatio = float64(s.Late+s.Dropped) / float64(s.Queries)
 	}
-	if nDone > 0 {
-		s.MeanLatency = latSum / time.Duration(nDone)
+	if len(lats) > 0 {
+		var latSum time.Duration
+		for _, l := range lats {
+			latSum += l
+		}
+		s.MeanLatency = latSum / time.Duration(len(lats))
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.P50Latency = percentile(lats, 0.50)
+		s.P95Latency = percentile(lats, 0.95)
+		s.P99Latency = percentile(lats, 0.99)
 	}
 	if family < 0 {
 		s.Failures = c.failures
@@ -292,8 +326,24 @@ func (c *Collector) Summarize(family int) Summary {
 		if c.recoverN > 0 {
 			s.MeanTimeToRecover = c.recoverSum / time.Duration(c.recoverN)
 		}
+	} else {
+		s.Requeued = c.requeuedF[family]
+		s.Retried = c.retriedF[family]
 	}
 	return s
+}
+
+// percentile returns the nearest-rank p-th percentile of an ascending
+// sorted, non-empty sample slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // String formats the summary for reports.
@@ -302,6 +352,11 @@ func (s Summary) String() string {
 		"queries=%d served=%d late=%d dropped=%d tput=%.1fqps acc=%.2f%% maxdrop=%.2f%% violations=%.4f",
 		s.Queries, s.Served, s.Late, s.Dropped, s.AvgThroughput,
 		s.EffectiveAccuracy, s.MaxAccuracyDrop, s.ViolationRatio)
+	if s.Served+s.Late > 0 {
+		out += fmt.Sprintf(" lat[mean=%v p50=%v p95=%v p99=%v]",
+			s.MeanLatency.Round(time.Millisecond), s.P50Latency.Round(time.Millisecond),
+			s.P95Latency.Round(time.Millisecond), s.P99Latency.Round(time.Millisecond))
+	}
 	if s.Failures > 0 {
 		out += fmt.Sprintf(" failures=%d recoveries=%d requeued=%d retried=%d ttr=%v",
 			s.Failures, s.Recoveries, s.Requeued, s.Retried,

@@ -187,3 +187,47 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("accessors broken")
 	}
 }
+
+func TestLatencyPercentiles(t *testing.T) {
+	c := NewCollector(time.Second, fams)
+	// 100 samples: 1ms..100ms on family 0.
+	for i := 1; i <= 100; i++ {
+		c.Served(0, 0, 90, time.Duration(i)*time.Millisecond)
+	}
+	s := c.Summarize(-1)
+	if s.P50Latency != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", s.P50Latency)
+	}
+	if s.P95Latency != 95*time.Millisecond {
+		t.Fatalf("p95 = %v, want 95ms", s.P95Latency)
+	}
+	if s.P99Latency != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", s.P99Latency)
+	}
+	if got := s.String(); !strings.Contains(got, "p50=50ms") || !strings.Contains(got, "p99=99ms") {
+		t.Fatalf("summary string missing percentiles: %s", got)
+	}
+	// Late completions join the latency population too.
+	c2 := NewCollector(time.Second, fams)
+	c2.Served(0, 0, 90, 10*time.Millisecond)
+	c2.Late(0, 0, 30*time.Millisecond)
+	if s2 := c2.Summarize(-1); s2.MeanLatency != 20*time.Millisecond || s2.P99Latency != 30*time.Millisecond {
+		t.Fatalf("mixed served/late latency: %+v", s2)
+	}
+	// Per-family percentiles only see that family's samples.
+	c3 := NewCollector(time.Second, fams)
+	c3.Served(0, 0, 90, 10*time.Millisecond)
+	c3.Served(0, 1, 90, 70*time.Millisecond)
+	if f := c3.Summarize(0); f.P99Latency != 10*time.Millisecond {
+		t.Fatalf("family 0 p99 = %v, want 10ms", f.P99Latency)
+	}
+	// A summary with no completions reports zero percentiles and omits the
+	// lat block from its string.
+	c4 := NewCollector(time.Second, fams)
+	c4.Arrival(0, 0)
+	c4.Dropped(0, 0)
+	s4 := c4.Summarize(-1)
+	if s4.P50Latency != 0 || strings.Contains(s4.String(), "lat[") {
+		t.Fatalf("empty-latency summary: %+v %q", s4, s4.String())
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"proteus/internal/allocator"
 	"proteus/internal/numeric"
+	"proteus/internal/telemetry"
 )
 
 // Table is a routing table: normalized per-family device weights plus an
@@ -27,7 +28,15 @@ type Table struct {
 	// serving fraction, so workers see exactly the load the resource
 	// manager sized them for instead of drowning in doomed queries.
 	admit []float64
+
+	// counters instrument the pick path; the zero value is inert.
+	counters telemetry.RouterCounters
 }
+
+// SetCounters attaches telemetry counters to the pick path. Tables are
+// rebuilt on every plan change, so the owner re-attaches after each
+// BuildTable.
+func (t *Table) SetCounters(c telemetry.RouterCounters) { t.counters = c }
 
 // BuildTable derives a routing table from an allocation. Weights are
 // normalized per family; the admission fraction defaults to the plan row's
@@ -93,15 +102,19 @@ func (t *Table) Admission(q int) float64 {
 // no serving devices or the query is shed by admission control.
 func (t *Table) Pick(q int, rng *numeric.RNG) int {
 	if q < 0 || q >= len(t.devices) || len(t.devices[q]) == 0 {
+		t.counters.Shed.Inc()
 		return -1
 	}
 	if t.admit[q] < 1 && rng.Float64() >= t.admit[q] {
+		t.counters.Shed.Inc()
 		return -1
 	}
 	i := numeric.WeightedChoice(rng, t.weights[q])
 	if i < 0 {
+		t.counters.Shed.Inc()
 		return -1
 	}
+	t.counters.Picks.Inc()
 	return t.devices[q][i]
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"proteus/internal/allocator"
+	"proteus/internal/telemetry"
 )
 
 // faultLoop replays the failure schedule on wall-clock timers, mirroring the
@@ -57,7 +58,14 @@ func (s *Server) failDevice(d int) {
 	}
 	s.down[d] = true
 	s.collector.DeviceFailed(now)
+	up := int64(0)
+	for _, dn := range s.down {
+		if !dn {
+			up++
+		}
+	}
 	s.mu.Unlock()
+	s.tc.DevicesUp.Set(up)
 	stranded := s.workers[d].fail()
 	s.rebuildTable()
 	for _, q := range stranded {
@@ -81,11 +89,18 @@ func (s *Server) recoverDevice(d int) {
 	}
 	s.down[d] = false
 	s.collector.DeviceRecovered(now)
+	up := int64(0)
+	for _, dn := range s.down {
+		if !dn {
+			up++
+		}
+	}
 	var ref *allocator.VariantRef
 	if d < len(s.plan.Hosted) {
 		ref = s.plan.Hosted[d]
 	}
 	s.mu.Unlock()
+	s.tc.DevicesUp.Set(up)
 	s.workers[d].recover(ref, s.cfg.ModelLoadDelay)
 	s.rebuildTable()
 	s.requestRealloc("recovery")
@@ -96,6 +111,8 @@ func (s *Server) recoverDevice(d int) {
 // surviving replica otherwise.
 func (s *Server) redispatch(q liveQuery) {
 	now := s.now()
+	s.tc.Requeued.Inc()
+	s.tracer.Record(now, telemetry.EvRequeued, q.id, q.family, -1, -1)
 	s.mu.Lock()
 	s.collector.Requeued(now, q.family)
 	if q.retries >= 1 || q.deadline <= now {
@@ -106,5 +123,7 @@ func (s *Server) redispatch(q liveQuery) {
 	q.retries++
 	s.collector.Retried(now, q.family)
 	s.mu.Unlock()
+	s.tc.Retried.Inc()
+	s.tracer.Record(now, telemetry.EvRetried, q.id, q.family, -1, -1)
 	s.dispatch(q)
 }

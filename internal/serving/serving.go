@@ -12,7 +12,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proteus/internal/allocator"
@@ -24,6 +26,7 @@ import (
 	"proteus/internal/numeric"
 	"proteus/internal/profiles"
 	"proteus/internal/router"
+	"proteus/internal/telemetry"
 )
 
 // Config describes a live serving cluster.
@@ -51,6 +54,13 @@ type Config struct {
 	// the same schedule type the simulator replays as events, so failure
 	// experiments run identically in both modes.
 	Faults *cluster.FailureSchedule
+	// Telemetry is the counters/gauges registry backing the /metrics
+	// endpoint. Defaults to a fresh registry, so a live server always
+	// exports metrics.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records per-query lifecycle events with
+	// wall-clock timestamps (durations since server start).
+	Tracer *telemetry.Tracer
 	Seed   uint64
 }
 
@@ -86,6 +96,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MetricsInterval <= 0 {
 		c.MetricsInterval = time.Second
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewRegistry()
 	}
 	if err := c.Faults.Validate(c.Cluster.Size()); err != nil {
 		return c, err
@@ -137,6 +150,16 @@ type Server struct {
 	// control loop, keeping the controller single-goroutine.
 	reallocc chan string
 
+	// Telemetry: the registry backs /metrics; the tracer (possibly nil) and
+	// counter bundles instrument the data path. nextID/nextBatch assign
+	// trace identities without taking mu.
+	registry  *telemetry.Registry
+	tracer    *telemetry.Tracer
+	tc        telemetry.SystemCounters
+	rc        telemetry.RouterCounters
+	nextID    atomic.Uint64
+	nextBatch atomic.Int64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -156,6 +179,10 @@ func NewServer(cfg Config) (*Server, error) {
 		byName:   make(map[string]int),
 		down:     make([]bool, cfg.Cluster.Size()),
 		reallocc: make(chan string, 8),
+		registry: cfg.Telemetry,
+		tracer:   cfg.Tracer,
+		tc:       telemetry.NewSystemCounters(cfg.Telemetry),
+		rc:       telemetry.NewRouterCounters(cfg.Telemetry),
 		stop:     make(chan struct{}),
 	}
 	for q, f := range cfg.Families {
@@ -166,6 +193,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s.stats = controlplane.NewStats(len(cfg.Families), int(cfg.ControlPeriod/time.Second), 1.5)
 	s.controller = controlplane.NewController(
 		cfg.Allocator, cfg.Cluster, cfg.Families, s.slos, cfg.ControlPeriod, cfg.ControlPeriod/3)
+	s.controller.Instrument(cfg.Telemetry)
+	s.tc.DevicesUp.Set(int64(cfg.Cluster.Size()))
 
 	for _, dev := range cfg.Cluster.Devices() {
 		w := newLiveWorker(s, dev, cfg.Batching())
@@ -276,6 +305,7 @@ func (s *Server) maybeReallocate(trigger string) {
 
 // applyPlan installs a new allocation on the live workers.
 func (s *Server) applyPlan(plan *allocator.Allocation, initial bool) {
+	s.tc.DemandScaleMilli.Set(int64(plan.DemandScale * 1000))
 	s.mu.Lock()
 	s.plan = plan
 	// Plans are produced for this server's own family set, so the shapes
@@ -331,6 +361,7 @@ func (s *Server) rebuildTable() {
 		}
 	}
 	s.table = router.BuildTable(&masked, len(s.cfg.Families))
+	s.table.SetCounters(s.rc)
 	s.table.SetAdmission(admit)
 }
 
@@ -341,6 +372,9 @@ func (s *Server) Infer(family string) Response {
 		return Response{Outcome: OutcomeDropped, Family: family}
 	}
 	now := s.now()
+	id := s.nextID.Add(1) - 1
+	s.tc.Arrivals.Inc()
+	s.tracer.Record(now, telemetry.EvArrival, id, q, -1, -1)
 	s.mu.Lock()
 	s.stats.Observe(now, q)
 	s.collector.Arrival(now, q)
@@ -348,6 +382,7 @@ func (s *Server) Infer(family string) Response {
 	s.mu.Unlock()
 
 	lq := liveQuery{
+		id:       id,
 		family:   q,
 		arrival:  now,
 		deadline: now + s.slos[q],
@@ -357,6 +392,7 @@ func (s *Server) Infer(family string) Response {
 		s.recordDrop(lq)
 		return <-lq.done
 	}
+	s.tracer.Record(now, telemetry.EvRoute, id, q, d, -1)
 	s.workers[d].enqueue(lq)
 	return <-lq.done
 }
@@ -369,11 +405,14 @@ func (s *Server) dispatch(q liveQuery) {
 		s.recordDrop(q)
 		return
 	}
+	s.tracer.Record(s.now(), telemetry.EvRoute, q.id, q.family, d, -1)
 	s.workers[d].enqueue(q)
 }
 
 func (s *Server) recordDrop(q liveQuery) {
 	now := s.now()
+	s.tc.Dropped.Inc()
+	s.tracer.Record(now, telemetry.EvDropped, q.id, q.family, -1, -1)
 	s.mu.Lock()
 	s.collector.Dropped(now, q.family)
 	s.mu.Unlock()
@@ -381,7 +420,7 @@ func (s *Server) recordDrop(q liveQuery) {
 		LatencyMS: float64(now-q.arrival) / float64(time.Millisecond)}
 }
 
-func (s *Server) recordCompletion(q liveQuery, variant string, accuracy float64) {
+func (s *Server) recordCompletion(q liveQuery, variant string, accuracy float64, device, batch int) {
 	now := s.now()
 	latency := now - q.arrival
 	resp := Response{
@@ -390,8 +429,16 @@ func (s *Server) recordCompletion(q liveQuery, variant string, accuracy float64)
 		Family:    s.cfg.Families[q.family].Name,
 		LatencyMS: float64(latency) / float64(time.Millisecond),
 	}
+	served := now <= q.deadline
+	if served {
+		s.tc.Served.Inc()
+		s.tracer.Record(now, telemetry.EvDone, q.id, q.family, device, batch)
+	} else {
+		s.tc.Late.Inc()
+		s.tracer.Record(now, telemetry.EvLate, q.id, q.family, device, batch)
+	}
 	s.mu.Lock()
-	if now <= q.deadline {
+	if served {
 		s.collector.Served(now, q.family, accuracy, latency)
 		resp.Outcome = OutcomeServed
 	} else {
@@ -420,12 +467,57 @@ func (s *Server) Allocation() map[string]string {
 	return out
 }
 
+// History returns the controller's decision audit log.
+func (s *Server) History() []controlplane.PlanRecord { return s.controller.History() }
+
+// DeviceHealth is one device's entry in the /healthz report.
+type DeviceHealth struct {
+	Device int    `json:"device"`
+	Name   string `json:"name"`
+	Up     bool   `json:"up"`
+}
+
+// Health reports each device's up/down state and the healthy count.
+type Health struct {
+	Status  string         `json:"status"` // "ok" or "degraded"
+	Up      int            `json:"up"`
+	Total   int            `json:"total"`
+	Devices []DeviceHealth `json:"devices"`
+}
+
+// Health returns the current device health mask.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	downCopy := append([]bool(nil), s.down...)
+	s.mu.Unlock()
+	h := Health{Status: "ok", Total: len(downCopy)}
+	for d, dn := range downCopy {
+		h.Devices = append(h.Devices, DeviceHealth{
+			Device: d,
+			Name:   s.cfg.Cluster.Device(d).Name,
+			Up:     !dn,
+		})
+		if !dn {
+			h.Up++
+		}
+	}
+	if h.Up < h.Total {
+		h.Status = "degraded"
+	}
+	return h
+}
+
 // Handler returns the HTTP API:
 //
 //	POST /v1/query?family=NAME  → Response JSON
 //	GET  /v1/stats              → metrics.Summary JSON
 //	GET  /v1/allocation         → device → variant JSON
 //	GET  /v1/families           → registered family names
+//	GET  /metrics               → counters/gauges, text "name value" lines
+//	GET  /healthz               → device health mask JSON (503 when no
+//	                              device is up)
+//	GET  /debug/allocations     → controller decision audit log JSON
+//	GET  /debug/pprof/...       → net/http/pprof profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -453,6 +545,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/families", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, models.FamilyNames(s.cfg.Families))
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "uptime_seconds %d\n", int64(s.now()/time.Second))
+		if err := s.registry.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		if h.Up == 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(h)
+			return
+		}
+		writeJSON(w, h)
+	})
+	mux.HandleFunc("/debug/allocations", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.History())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

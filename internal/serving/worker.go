@@ -10,10 +10,12 @@ import (
 	"proteus/internal/cluster"
 	"proteus/internal/numeric"
 	"proteus/internal/profiles"
+	"proteus/internal/telemetry"
 )
 
 // liveQuery is one in-flight query inside the live cluster.
 type liveQuery struct {
+	id       uint64
 	family   int
 	arrival  time.Duration
 	deadline time.Duration
@@ -99,6 +101,7 @@ func (w *liveWorker) setHosted(ref *allocator.VariantRef, loadDelay time.Duratio
 		w.maxBatch = profiles.MaxBatch(w.dev.Spec, ref.Variant, slo)
 		w.memBatch = profiles.MaxMemoryBatch(w.dev.Spec, ref.Variant)
 		w.loadingUntil = w.sys.now() + loadDelay
+		w.sys.tc.ModelLoads.Inc()
 	}
 	w.mu.Unlock()
 	w.wake()
@@ -118,7 +121,9 @@ func (w *liveWorker) enqueue(q liveQuery) {
 		w.sys.redispatch(q)
 		return
 	}
-	w.noteArrival(w.sys.now())
+	now := w.sys.now()
+	w.noteArrival(now)
+	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1)
 	w.queue = append(w.queue, q)
 	w.mu.Unlock()
 	w.wake()
@@ -261,6 +266,15 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 			ArrivalRate: w.arrivalRate(),
 		}
 		d := w.policy.Decide(&ctx)
+		switch d.Action {
+		case batching.Execute:
+			w.sys.tc.BatchExecutes.Inc()
+		case batching.Wait:
+			w.sys.tc.BatchWaits.Inc()
+		case batching.Idle:
+			w.sys.tc.BatchIdles.Inc()
+		}
+		w.sys.tc.BatchDrops.Add(int64(len(d.Drop)))
 		var dropped []liveQuery
 		if len(d.Drop) > 0 {
 			di := 0
@@ -322,6 +336,16 @@ func (w *liveWorker) idleWait() {
 // executeBatch simulates hardware execution: sleep for the profiled batch
 // latency (with noise), then complete every query.
 func (w *liveWorker) executeBatch(hosted allocator.VariantRef, batch []liveQuery) {
+	batchID := int(w.sys.nextBatch.Add(1) - 1)
+	w.sys.tc.Batches.Inc()
+	w.sys.tc.BatchQueries.Add(int64(len(batch)))
+	if w.sys.tracer != nil {
+		formed := w.sys.now()
+		for _, q := range batch {
+			w.sys.tracer.Record(formed, telemetry.EvBatchFormed, q.id, q.family, w.dev.ID, batchID)
+			w.sys.tracer.Record(formed, telemetry.EvExecStart, q.id, q.family, w.dev.ID, batchID)
+		}
+	}
 	lat := profiles.Latency(w.dev.Spec, hosted.Variant, len(batch))
 	if w.sys.cfg.ExecNoiseFrac > 0 {
 		w.mu.Lock()
@@ -346,7 +370,7 @@ func (w *liveWorker) executeBatch(hosted allocator.VariantRef, batch []liveQuery
 		if now > q.deadline {
 			violations++
 		}
-		w.sys.recordCompletion(q, hosted.Variant.ID(), hosted.Variant.Accuracy)
+		w.sys.recordCompletion(q, hosted.Variant.ID(), hosted.Variant.Accuracy, w.dev.ID, batchID)
 	}
 	w.policy.Observe(len(batch), violations)
 }

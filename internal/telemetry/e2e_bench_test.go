@@ -1,0 +1,58 @@
+package telemetry_test
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/allocator"
+	"proteus/internal/cluster"
+	"proteus/internal/core"
+	"proteus/internal/models"
+	"proteus/internal/telemetry"
+	"proteus/internal/trace"
+)
+
+// These end-to-end benchmarks run a complete (small) simulation with
+// telemetry off and on, so BENCH_telemetry.json records the whole-system
+// cost of the instrumentation, not just the per-call-site nanoseconds: the
+// off/on ns/op ratio is the number the <1%-disabled-overhead budget is
+// judged against at system scale.
+
+func benchSim(b *testing.B, tracer *telemetry.Tracer, registry *telemetry.Registry) {
+	var fams []models.Family
+	for _, f := range models.Zoo() {
+		if f.Name == "mobilenet" || f.Name == "efficientnet" {
+			fams = append(fams, f)
+		}
+	}
+	names := models.FamilyNames(fams)
+	tr := trace.NewFlat(names, []float64{40, 40}, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(core.Config{
+			Cluster:  cluster.ScaledTestbed(4),
+			Families: fams,
+			Allocator: allocator.NewMILP(&allocator.MILPOptions{
+				TimeLimit: 200 * time.Millisecond, RelGap: 0.01,
+			}),
+			Seed:      7,
+			Tracer:    tracer,
+			Telemetry: registry,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimTelemetryOff(b *testing.B) {
+	benchSim(b, nil, nil)
+}
+
+func BenchmarkSimTelemetryOn(b *testing.B) {
+	benchSim(b, telemetry.NewTracer(1<<18), telemetry.NewRegistry())
+}

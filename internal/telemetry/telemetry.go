@@ -1,0 +1,266 @@
+// Package telemetry is the observability substrate of the repo: a bounded
+// per-query lifecycle tracer (Chrome trace_event / JSONL export), an atomic
+// counters-and-gauges registry with snapshot export, and the pre-resolved
+// counter bundles the hot paths increment without any map lookups or
+// allocations. Everything is nil-safe: a nil *Tracer, *Registry, *Counter or
+// *Gauge turns every operation into a cheap no-op, so telemetry can default
+// off with (benchmarked) sub-nanosecond overhead and be switched on per run.
+//
+// Timestamps are supplied by the caller — the simulator passes its virtual
+// clock, the live serving layer passes wall-clock durations since server
+// start — so the package itself never reads the wall clock and seeded
+// simulator runs export byte-identical traces.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil *Counter discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; a nil *Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named set of counters and gauges. Registration takes a
+// lock; the returned *Counter / *Gauge are then updated lock-free, so the
+// hot path never touches the registry map. A nil *Registry hands out nil
+// metrics, making every instrumented path a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Returns nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Metric is one (name, value) pair of a registry snapshot.
+type Metric struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	// Kind is "counter" or "gauge".
+	Kind string `json:"kind"`
+}
+
+// Snapshot returns every metric sorted by name. Each value is an atomic
+// load; the registry lock only excludes concurrent registration, so the
+// snapshot is per-metric consistent (torn multi-metric invariants are
+// possible under concurrent writers, exact values are not).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Value: c.Value(), Kind: "counter"})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Value: g.Value(), Kind: "gauge"})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteText writes the snapshot as sorted "name value" lines — the
+// /metrics wire format.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SystemCounters bundles the counters and gauges every serving engine
+// (simulator and live cluster) increments, pre-resolved so the hot path is
+// a single atomic add per event. Built from a nil registry, every field is
+// nil and every update a no-op.
+type SystemCounters struct {
+	// Data path.
+	Arrivals     *Counter
+	Served       *Counter
+	Late         *Counter
+	Dropped      *Counter
+	Requeued     *Counter
+	Retried      *Counter
+	Batches      *Counter
+	BatchQueries *Counter
+	ModelLoads   *Counter
+	// Batching-policy decisions (one per Policy.Decide call).
+	BatchExecutes *Counter
+	BatchWaits    *Counter
+	BatchIdles    *Counter
+	BatchDrops    *Counter
+	// Fleet state.
+	DevicesUp        *Gauge
+	DemandScaleMilli *Gauge // DemandScale of the live plan, in thousandths
+}
+
+// NewSystemCounters resolves the standard counter set from the registry
+// (all nil when the registry is nil).
+func NewSystemCounters(r *Registry) SystemCounters {
+	if r == nil {
+		return SystemCounters{}
+	}
+	return SystemCounters{
+		Arrivals:         r.Counter("queries_arrived_total"),
+		Served:           r.Counter("queries_served_total"),
+		Late:             r.Counter("queries_late_total"),
+		Dropped:          r.Counter("queries_dropped_total"),
+		Requeued:         r.Counter("queries_requeued_total"),
+		Retried:          r.Counter("queries_retried_total"),
+		Batches:          r.Counter("batches_executed_total"),
+		BatchQueries:     r.Counter("batch_queries_total"),
+		ModelLoads:       r.Counter("model_loads_total"),
+		BatchExecutes:    r.Counter("batching_execute_total"),
+		BatchWaits:       r.Counter("batching_wait_total"),
+		BatchIdles:       r.Counter("batching_idle_total"),
+		BatchDrops:       r.Counter("batching_drop_total"),
+		DevicesUp:        r.Gauge("devices_up"),
+		DemandScaleMilli: r.Gauge("plan_demand_scale_milli"),
+	}
+}
+
+// RouterCounters instrument the routing table's pick path.
+type RouterCounters struct {
+	// Picks counts queries routed to a device.
+	Picks *Counter
+	// Shed counts queries the table refused (no serving device, or shed by
+	// admission control).
+	Shed *Counter
+}
+
+// NewRouterCounters resolves the router counter set from the registry.
+func NewRouterCounters(r *Registry) RouterCounters {
+	if r == nil {
+		return RouterCounters{}
+	}
+	return RouterCounters{
+		Picks: r.Counter("router_picks_total"),
+		Shed:  r.Counter("router_shed_total"),
+	}
+}
+
+// ControlCounters instrument the control plane's re-allocation path.
+type ControlCounters struct {
+	// Reallocations counts successfully produced plans.
+	Reallocations *Counter
+	// FallbackPlans counts plans produced by the fallback allocator after a
+	// primary error; CarryForwardPlans counts last-resort projections of the
+	// previous plan; FailedSolves counts attempts where all stages errored.
+	FallbackPlans     *Counter
+	CarryForwardPlans *Counter
+	FailedSolves      *Counter
+}
+
+// NewControlCounters resolves the control-plane counter set.
+func NewControlCounters(r *Registry) ControlCounters {
+	if r == nil {
+		return ControlCounters{}
+	}
+	return ControlCounters{
+		Reallocations:     r.Counter("reallocations_total"),
+		FallbackPlans:     r.Counter("realloc_fallback_total"),
+		CarryForwardPlans: r.Counter("realloc_carry_forward_total"),
+		FailedSolves:      r.Counter("realloc_failed_total"),
+	}
+}

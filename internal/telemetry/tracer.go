@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind identifies a point in a query's lifecycle.
+type EventKind uint8
+
+const (
+	// EvArrival: query entered the system.
+	EvArrival EventKind = iota
+	// EvRoute: router assigned the query to a device.
+	EvRoute
+	// EvEnqueue: query joined a device queue.
+	EvEnqueue
+	// EvBatchFormed: batching policy committed the query to a batch.
+	EvBatchFormed
+	// EvExecStart: the batch containing the query began executing.
+	EvExecStart
+	// EvDone: query completed within its SLO.
+	EvDone
+	// EvLate: query completed after its deadline.
+	EvLate
+	// EvDropped: query was shed (no route, admission control, expiry, or
+	// retry budget exhausted).
+	EvDropped
+	// EvRequeued: query was stranded by a device failure and re-entered
+	// routing.
+	EvRequeued
+	// EvRetried: stranded query was granted a retry and re-routed.
+	EvRetried
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvArrival:     "arrival",
+	EvRoute:       "route",
+	EvEnqueue:     "enqueue",
+	EvBatchFormed: "batch_formed",
+	EvExecStart:   "exec_start",
+	EvDone:        "done",
+	EvLate:        "late",
+	EvDropped:     "dropped",
+	EvRequeued:    "requeued",
+	EvRetried:     "retried",
+}
+
+// String returns the stable wire name of the event kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one timestamped point in a query's lifecycle. At is relative to
+// the trace origin: the virtual clock in simulation, time since server
+// start in live serving. Device and Batch are -1 when not applicable.
+type Event struct {
+	At     time.Duration
+	Seq    uint64 // global record order, breaks equal-At ties
+	Query  uint64
+	Kind   EventKind
+	Family int32
+	Device int32
+	Batch  int32
+}
+
+// Tracer records lifecycle events into a bounded ring buffer: when more
+// than its capacity arrive, the oldest are overwritten (Dropped counts
+// them). A nil *Tracer discards all events, so call sites never need a
+// guard. Record is safe for concurrent use.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded; buf index = (next-1) % cap
+}
+
+// DefaultTraceCapacity bounds tracer memory when callers don't choose:
+// 1M events ≈ 48 MB.
+const DefaultTraceCapacity = 1 << 20
+
+// NewTracer returns a tracer holding the most recent capacity events
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends a lifecycle event. No-op on a nil tracer.
+func (t *Tracer) Record(at time.Duration, kind EventKind, query uint64, family, device, batch int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev := Event{
+		At:     at,
+		Seq:    t.next,
+		Query:  query,
+		Kind:   kind,
+		Family: int32(family),
+		Device: int32(device),
+		Batch:  int32(batch),
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next%uint64(cap(t.buf))] = ev
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten because the ring
+// filled.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next - uint64(len(t.buf))
+}
+
+// Events returns the buffered events in record order (oldest first).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.buf))
+	if len(t.buf) < cap(t.buf) || len(t.buf) == 0 {
+		copy(out, t.buf)
+		return out
+	}
+	// Ring has wrapped: the oldest event sits at next % cap.
+	head := int(t.next % uint64(cap(t.buf)))
+	n := copy(out, t.buf[head:])
+	copy(out[n:], t.buf[:head])
+	return out
+}
+
+// WriteJSONL writes one JSON object per line per event, in record order.
+// Fields are emitted in a fixed order via fmt so that identical event
+// sequences serialize to identical bytes.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, ev := range t.Events() {
+		_, err := fmt.Fprintf(w,
+			`{"at_us":%d,"seq":%d,"kind":%q,"query":%d,"family":%d,"device":%d,"batch":%d}`+"\n",
+			ev.At.Microseconds(), ev.Seq, ev.Kind.String(), ev.Query, ev.Family, ev.Device, ev.Batch)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace writes the buffered events in Chrome trace_event JSON
+// array format (load via chrome://tracing or https://ui.perfetto.dev).
+// Each event becomes an instant event ("ph":"i") on pid = device (+1 so
+// device -1 maps to pid 0) and tid = family. Output is byte-stable for a
+// given event sequence.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	events := t.Events()
+	for i, ev := range events {
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w,
+			`  {"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"query":%d,"seq":%d,"batch":%d}}%s`+"\n",
+			ev.Kind.String(), ev.At.Microseconds(), ev.Device+1, ev.Family, ev.Query, ev.Seq, ev.Batch, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -38,12 +38,14 @@ import (
 	"proteus/internal/allocator"
 	"proteus/internal/batching"
 	"proteus/internal/cluster"
+	"proteus/internal/controlplane"
 	"proteus/internal/core"
 	"proteus/internal/experiments"
 	"proteus/internal/metrics"
 	"proteus/internal/models"
 	"proteus/internal/profiles"
 	"proteus/internal/serving"
+	"proteus/internal/telemetry"
 	"proteus/internal/trace"
 )
 
@@ -100,6 +102,16 @@ type (
 	RandomScheduleConfig = cluster.RandomScheduleConfig
 	// TypeCount is one (device type, count) entry of an explicit cluster spec.
 	TypeCount = cluster.TypeCount
+	// Tracer records per-query lifecycle events into a bounded ring buffer
+	// (SystemConfig.Tracer / LiveConfig.Tracer).
+	Tracer = telemetry.Tracer
+	// TraceEvent is one recorded lifecycle event.
+	TraceEvent = telemetry.Event
+	// TelemetryRegistry is a named counter/gauge registry
+	// (SystemConfig.Telemetry / LiveConfig.Telemetry).
+	TelemetryRegistry = telemetry.Registry
+	// PlanRecord is one control-period entry of the decision audit log.
+	PlanRecord = controlplane.PlanRecord
 )
 
 // Device types of the paper's testbed.
@@ -161,6 +173,14 @@ func NewAllocator(name string, opts *MILPOptions) (Allocator, error) {
 func NewBatching(name string) (BatchingFactory, error) {
 	return batching.ByName(name)
 }
+
+// NewTracer returns a lifecycle tracer holding at most capacity events
+// (capacity <= 0 selects the default, one million). A nil *Tracer is a
+// valid no-op recorder, so tracing stays opt-in and free when unused.
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// NewTelemetryRegistry returns an empty counter/gauge registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
 
 // NewSystem assembles a simulated serving system.
 func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
