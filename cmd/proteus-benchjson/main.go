@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 )
@@ -27,13 +29,35 @@ type result struct {
 }
 
 type baseline struct {
-	GoOS      string   `json:"goos,omitempty"`
-	GoArch    string   `json:"goarch,omitempty"`
-	Package   string   `json:"pkg,omitempty"`
-	CPU       string   `json:"cpu,omitempty"`
-	Results   []result `json:"results"`
-	Failed    bool     `json:"failed,omitempty"`
-	RawFooter string   `json:"-"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	// GoVersion, GoMaxProcs and Commit identify the toolchain and source
+	// revision that produced the numbers, so comparison tools can refuse
+	// apples-to-oranges diffs. GoMaxProcs comes from the benchmark name
+	// suffix (BenchmarkX-8) when present, else from the converting process.
+	GoVersion  string   `json:"go_version,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	Commit     string   `json:"commit,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Results    []result `json:"results"`
+	Failed     bool     `json:"failed,omitempty"`
+	RawFooter  string   `json:"-"`
+}
+
+// vcsRevision returns the source commit baked into the binary's build info
+// ("" for non-VCS builds).
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
 }
 
 func main() {
@@ -56,7 +80,12 @@ func main() {
 // parse consumes the standard `go test -bench` text format: header lines
 // (goos/goarch/pkg/cpu), one line per benchmark, then ok/FAIL.
 func parse(sc *bufio.Scanner) (*baseline, error) {
-	b := &baseline{Results: []result{}}
+	b := &baseline{
+		Results:    []result{},
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Commit:     vcsRevision(),
+	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -69,9 +98,14 @@ func parse(sc *bufio.Scanner) (*baseline, error) {
 		case strings.HasPrefix(line, "cpu:"):
 			b.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			r, ok := parseBench(line)
+			r, procs, ok := parseBench(line)
 			if ok {
 				b.Results = append(b.Results, r)
+				if procs > 0 {
+					// The bench ran under this GOMAXPROCS, which trumps the
+					// converting process's setting.
+					b.GoMaxProcs = procs
+				}
 			}
 		case strings.HasPrefix(line, "FAIL"):
 			b.Failed = true
@@ -86,20 +120,24 @@ func parse(sc *bufio.Scanner) (*baseline, error) {
 // parseBench parses one benchmark result line, e.g.
 //
 //	BenchmarkTracerEnabled-8   1000000   52.1 ns/op   0 B/op   0 allocs/op
-func parseBench(line string) (result, bool) {
+//
+// The second return is the GOMAXPROCS suffix (0 when the name has none).
+func parseBench(line string) (result, int, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return result{}, false
+		return result{}, 0, false
 	}
 	name := fields[0]
+	procs := 0
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i] // strip the -GOMAXPROCS suffix
+			procs = p
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return result{}, false
+		return result{}, 0, false
 	}
 	r := result{Name: name, Iterations: iters}
 	// The remainder alternates value / unit.
@@ -118,5 +156,5 @@ func parseBench(line string) (result, bool) {
 		}
 		r.Metrics[unit] = v
 	}
-	return r, true
+	return r, procs, true
 }

@@ -24,6 +24,12 @@ func TestParse(t *testing.T) {
 	if b.GoOS != "linux" || b.GoArch != "amd64" || b.Package != "proteus/internal/telemetry" {
 		t.Fatalf("header: %+v", b)
 	}
+	if b.GoVersion == "" {
+		t.Fatal("go version metadata missing")
+	}
+	if b.GoMaxProcs != 8 {
+		t.Fatalf("gomaxprocs = %d, want 8 from the benchmark name suffix", b.GoMaxProcs)
+	}
 	if b.Failed {
 		t.Fatal("PASS run marked failed")
 	}
@@ -47,10 +53,10 @@ func TestParseFailLine(t *testing.T) {
 }
 
 func TestParseBenchMalformed(t *testing.T) {
-	if _, ok := parseBench("BenchmarkBroken-8 notanumber ns/op"); ok {
+	if _, _, ok := parseBench("BenchmarkBroken-8 notanumber ns/op"); ok {
 		t.Fatal("malformed line accepted")
 	}
-	if _, ok := parseBench("BenchmarkShort"); ok {
+	if _, _, ok := parseBench("BenchmarkShort"); ok {
 		t.Fatal("short line accepted")
 	}
 }

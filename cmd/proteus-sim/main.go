@@ -21,7 +21,15 @@
 // Observability flags: -timeseries out.csv dumps the per-bin metric series,
 // -trace out.json (or .jsonl) dumps the per-query lifecycle trace — byte
 // identical across runs with the same config and seed — and -metrics out.txt
-// dumps the final counter snapshot.
+// dumps the final counter snapshot. -tsdb run.json writes the full run dump
+// (windowed percentiles, device utilization time-series, SLO burn log,
+// decision audit) and -report out.html renders it as a self-contained HTML
+// page (proteus-report renders the same from a saved dump); both are byte
+// identical across same-seed runs. The optional "slo" config block tunes
+// the burn monitor, e.g.
+//
+//	"slo": {"target": 0.01, "burn_rate": 2, "short_window_s": 5,
+//	        "long_window_s": 60, "sample_interval_s": 1, "realloc": false}
 package main
 
 import (
@@ -50,6 +58,21 @@ type config struct {
 	Devices []deviceConfig `json:"devices"`
 	// Faults optionally injects device failures during the run.
 	Faults *faultConfig `json:"faults"`
+	// SLO tunes the burn-rate monitor backing -tsdb/-report; zero fields
+	// take the recorder's defaults (1% budget, 2x burn over 5s/60s windows,
+	// 1s sampling).
+	SLO *sloConfig `json:"slo"`
+}
+
+type sloConfig struct {
+	Target          float64 `json:"target"`
+	BurnRate        float64 `json:"burn_rate"`
+	ShortWindowS    float64 `json:"short_window_s"`
+	LongWindowS     float64 `json:"long_window_s"`
+	SampleIntervalS float64 `json:"sample_interval_s"`
+	// Realloc lets a burn start trigger an early re-allocation (off by
+	// default).
+	Realloc bool `json:"realloc"`
 }
 
 type deviceConfig struct {
@@ -135,6 +158,8 @@ func main() {
 		tsOut      = flag.String("timeseries", "", "optional CSV path for the run's per-bin time series")
 		traceOut   = flag.String("trace", "", "optional path for the telemetry trace (.jsonl = JSON lines, anything else = Chrome trace_event JSON)")
 		metricsOut = flag.String("metrics", "", "optional path for the final counter snapshot (text key-value)")
+		tsdbOut    = flag.String("tsdb", "", "optional path for the run dump JSON (windowed metrics, device time-series, SLO burn log, decision audit)")
+		reportOut  = flag.String("report", "", "optional path for the self-contained HTML run report")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -199,16 +224,35 @@ func main() {
 	if *metricsOut != "" {
 		registry = proteus.NewTelemetryRegistry()
 	}
+	var recorder *proteus.TSDBRecorder
+	burnRealloc := false
+	if *tsdbOut != "" || *reportOut != "" {
+		var tc proteus.TSDBConfig
+		if s := cfg.SLO; s != nil {
+			sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+			tc.SampleInterval = sec(s.SampleIntervalS)
+			tc.SLO = proteus.SLOConfig{
+				Target:      s.Target,
+				BurnRate:    s.BurnRate,
+				ShortWindow: sec(s.ShortWindowS),
+				LongWindow:  sec(s.LongWindowS),
+			}
+			burnRealloc = s.Realloc
+		}
+		recorder = proteus.NewTSDBRecorder(tc)
+	}
 	sys, err := proteus.NewSystem(proteus.SystemConfig{
-		Cluster:       cl,
-		Families:      fams,
-		SLOMultiplier: cfg.SLOMultiplier,
-		Allocator:     alloc,
-		Batching:      batch,
-		Faults:        faults,
-		Seed:          cfg.Seed,
-		Tracer:        tracer,
-		Telemetry:     registry,
+		Cluster:        cl,
+		Families:       fams,
+		SLOMultiplier:  cfg.SLOMultiplier,
+		Allocator:      alloc,
+		Batching:       batch,
+		Faults:         faults,
+		Seed:           cfg.Seed,
+		Tracer:         tracer,
+		Telemetry:      registry,
+		TSDB:           recorder,
+		SLOBurnRealloc: burnRealloc,
 	})
 	if err != nil {
 		fatal(err)
@@ -261,6 +305,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	if recorder != nil {
+		var names []string
+		for _, d := range cl.Devices() {
+			names = append(names, d.Name)
+		}
+		dump := proteus.BuildRunDump(proteus.RunDumpInput{
+			Label:       fmt.Sprintf("%s/%s %s", cfg.ModelAllocation, cfg.Batching, cfg.Trace.Kind),
+			Seed:        cfg.Seed,
+			Collector:   res.Collector,
+			Recorder:    recorder,
+			Plans:       res.Plans,
+			DeviceNames: names,
+		})
+		if *tsdbOut != "" {
+			if err := dump.WriteFile(*tsdbOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d samples, %d burn transitions)\n", *tsdbOut, len(dump.Samples), len(dump.Burns))
+		}
+		if *reportOut != "" {
+			if err := os.WriteFile(*reportOut, proteus.RenderRunReport(dump), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *reportOut)
+		}
 	}
 }
 

@@ -152,6 +152,7 @@ var DeterministicPackages = []string{
 	"internal/lp",
 	"internal/milp",
 	"internal/simulation",
+	"internal/tsdb",
 }
 
 // SolverPackages hold the numerical pivoting code where exact float64

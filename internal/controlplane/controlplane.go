@@ -79,6 +79,19 @@ type DeviceChange struct {
 	To     string `json:"to"`
 }
 
+// SLOBurnRecord is one SLO burn-state transition observed between control
+// periods: family's windowed violation ratio crossed (Start) or fell back
+// under (end) the burn-rate alerting threshold. ShortBurn/LongBurn are the
+// burn rates (window violation ratio over the target budget) at the
+// transition.
+type SLOBurnRecord struct {
+	At        time.Duration `json:"at_ns"`
+	Family    int           `json:"family"`
+	Start     bool          `json:"start"`
+	ShortBurn float64       `json:"short_burn"`
+	LongBurn  float64       `json:"long_burn"`
+}
+
 // PlanRecord is one entry of the controller's decision audit log: what was
 // decided, why (trigger), by which stage of the solver chain, at what
 // solver cost, and how the fleet changed relative to the previous plan.
@@ -88,7 +101,7 @@ type PlanRecord struct {
 	PredictedAccuracy float64       `json:"predicted_accuracy"`
 	DemandScale       float64       `json:"demand_scale"`
 	SolveTime         time.Duration `json:"solve_time_ns"`
-	Trigger           string        `json:"trigger"` // "initial", "periodic", "burst", "failure", "recovery"
+	Trigger           string        `json:"trigger"` // "initial", "periodic", "burst", "failure", "recovery", "slo_burn"
 	// Solver names the allocator that produced the plan: the primary's name,
 	// "<name> (fallback)" when the fallback stepped in, or "carry-forward"
 	// when the last feasible plan was projected onto the surviving devices.
@@ -114,6 +127,10 @@ type PlanRecord struct {
 	// matrix and the previous one — 0 for identical query assignment, up to
 	// 2·families when every family moved all its traffic.
 	RoutingDelta float64 `json:"routing_delta"`
+	// SLOBurns lists the burn-state transitions the SLO monitor reported
+	// since the previous audit record, so each control decision carries the
+	// burn context it was made under.
+	SLOBurns []SLOBurnRecord `json:"slo_burns,omitempty"`
 }
 
 // Controller owns the allocator and the re-allocation schedule.
@@ -140,10 +157,14 @@ type Controller struct {
 	last    time.Duration
 	started bool
 
-	// mu guards history: the control loop appends while introspection
-	// endpoints (/debug/allocations) read concurrently.
+	// mu guards history and pendingBurns: the control loop appends while
+	// introspection endpoints (/debug/allocations) and the SLO monitor's
+	// burn callback write concurrently.
 	mu      sync.Mutex
 	history []PlanRecord
+	// pendingBurns buffers burn transitions until the next audit record
+	// drains them into its SLOBurns field.
+	pendingBurns []SLOBurnRecord
 
 	counters telemetry.ControlCounters
 }
@@ -317,10 +338,23 @@ func diffPlans(rec *PlanRecord, prev, next *allocator.Allocation) {
 	}
 }
 
-// append adds a record to the audit log under the history lock.
+// append adds a record to the audit log under the history lock, attaching
+// (and clearing) the burn transitions buffered since the last record.
 func (c *Controller) append(rec PlanRecord) {
 	c.mu.Lock()
+	if len(c.pendingBurns) > 0 {
+		rec.SLOBurns = c.pendingBurns
+		c.pendingBurns = nil
+	}
 	c.history = append(c.history, rec)
+	c.mu.Unlock()
+}
+
+// NoteBurn records an SLO burn-state transition for the next audit record.
+// Safe to call concurrently with Reallocate and History.
+func (c *Controller) NoteBurn(rec SLOBurnRecord) {
+	c.mu.Lock()
+	c.pendingBurns = append(c.pendingBurns, rec)
 	c.mu.Unlock()
 }
 

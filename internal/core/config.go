@@ -16,6 +16,7 @@ import (
 	"proteus/internal/models"
 	"proteus/internal/profiles"
 	"proteus/internal/telemetry"
+	"proteus/internal/tsdb"
 )
 
 // Config describes one simulated serving system.
@@ -76,6 +77,15 @@ type Config struct {
 	// Telemetry, when non-nil, is the counters/gauges registry the system
 	// (router, batching, workers, control plane) increments during the run.
 	Telemetry *telemetry.Registry
+	// TSDB, when non-nil, records per-device time-series samples and runs
+	// the sliding-window SLO burn monitor on the virtual clock. Burn
+	// transitions are traced (slo_burn_start/slo_burn_end) and audited in
+	// the controller's PlanRecord history.
+	TSDB *tsdb.Recorder
+	// SLOBurnRealloc lets an SLO burn start trigger an early re-allocation
+	// (subject to the burst cooldown). Off by default: the monitor then only
+	// observes and reports.
+	SLOBurnRealloc bool
 	// Seed drives all simulator randomness (routing, arrival expansion).
 	Seed uint64
 }

@@ -15,6 +15,7 @@ import (
 	"proteus/internal/simulation"
 	"proteus/internal/telemetry"
 	"proteus/internal/trace"
+	"proteus/internal/tsdb"
 )
 
 // System is one assembled inference-serving system under simulation.
@@ -36,11 +37,12 @@ type System struct {
 	nextBatchID int
 	reallocErr  error
 
-	// Telemetry: tracer and counter bundles are nil-safe, so an
-	// uninstrumented run pays only a nil check per event.
-	tracer *telemetry.Tracer
-	tc     telemetry.SystemCounters
-	rc     telemetry.RouterCounters
+	// Telemetry: tracer, counter bundles and the tsdb recorder are
+	// nil-safe, so an uninstrumented run pays only a nil check per event.
+	tracer   *telemetry.Tracer
+	tc       telemetry.SystemCounters
+	rc       telemetry.RouterCounters
+	recorder *tsdb.Recorder
 
 	// Failure state: down[d] marks device d as failed; pendingFaultRetry
 	// tracks a fault-triggered re-allocation deferred by the cooldown, with
@@ -89,6 +91,8 @@ func NewSystem(cfg Config) (*System, error) {
 	s.controller = controlplane.NewController(
 		cfg.Allocator, cfg.Cluster, cfg.Families, s.slos, cfg.ControlPeriod, cfg.BurstCooldown)
 	s.controller.Instrument(cfg.Telemetry)
+	s.recorder = cfg.TSDB
+	s.recorder.Init(len(cfg.Families), s.onBurn)
 	s.tc.DevicesUp.Set(int64(cfg.Cluster.Size()))
 	for _, dev := range cfg.Cluster.Devices() {
 		s.workers = append(s.workers, &worker{sys: s, dev: dev, policy: cfg.Batching()})
@@ -182,6 +186,15 @@ func (s *System) RunArrivals(arrivals []trace.Arrival, duration time.Duration, i
 		}
 	}
 
+	// Device time-series sampling on the virtual clock (the live server
+	// runs the same recorder off a wall-clock ticker).
+	if si := s.recorder.SampleInterval(); si > 0 {
+		for at := si; at <= duration; at += si {
+			at := at
+			s.engine.Schedule(at, func() { s.sampleTSDB() })
+		}
+	}
+
 	// Fault injection: the schedule's events become simulation events.
 	if s.cfg.Faults != nil {
 		for _, ev := range s.cfg.Faults.Events {
@@ -217,10 +230,49 @@ func (s *System) RunArrivals(arrivals []trace.Arrival, duration time.Duration, i
 // Collector exposes the metrics collector (for live inspection in tests).
 func (s *System) Collector() *metrics.Collector { return s.collector }
 
+// sampleTSDB snapshots every device into the tsdb recorder.
+func (s *System) sampleTSDB() {
+	now := s.engine.Now()
+	states := make([]tsdb.DeviceState, len(s.workers))
+	for d, w := range s.workers {
+		states[d] = tsdb.DeviceState{
+			Up:         !w.down,
+			QueueDepth: len(w.queue) + len(w.inflight),
+			LastBatch:  w.lastBatch,
+			Variant:    w.hostedID(),
+			BusyTime:   w.busyTime(now),
+		}
+	}
+	s.recorder.Sample(now, states)
+}
+
+// onBurn receives SLO burn-state transitions from the tsdb recorder: they
+// enter the lifecycle trace and the controller's audit log, and — when
+// enabled — a burn start triggers an early re-allocation. Runs under the
+// recorder's lock, so it must not call back into the recorder.
+func (s *System) onBurn(ev tsdb.BurnEvent) {
+	kind := telemetry.EvSLOBurnStart
+	if !ev.Start {
+		kind = telemetry.EvSLOBurnEnd
+	}
+	s.tracer.Record(ev.At, kind, 0, ev.Family, -1, -1)
+	s.controller.NoteBurn(controlplane.SLOBurnRecord{
+		At:        ev.At,
+		Family:    ev.Family,
+		Start:     ev.Start,
+		ShortBurn: ev.ShortBurn,
+		LongBurn:  ev.LongBurn,
+	})
+	if ev.Start && s.cfg.SLOBurnRealloc && s.controller.Dynamic() && s.controller.AllowBurst(ev.At) {
+		s.reallocate("slo_burn")
+	}
+}
+
 func (s *System) onArrival(a trace.Arrival) {
 	now := s.engine.Now()
 	s.stats.Observe(now, a.Family)
 	s.collector.Arrival(now, a.Family)
+	s.recorder.Arrival(now, a.Family)
 	q := query{
 		id:       s.nextID,
 		family:   a.Family,
@@ -400,6 +452,7 @@ func (s *System) rebuildTable() {
 
 func (s *System) dropQuery(now time.Duration, q query) {
 	s.collector.Dropped(now, q.family)
+	s.recorder.Violation(now, q.family)
 	s.tc.Dropped.Inc()
 	s.tracer.Record(now, telemetry.EvDropped, q.id, q.family, -1, -1)
 }
@@ -412,6 +465,7 @@ func (s *System) serveQuery(now time.Duration, q query, accuracy float64, device
 
 func (s *System) lateQuery(now time.Duration, q query, device, batch int) {
 	s.collector.Late(now, q.family, now-q.arrival)
+	s.recorder.Violation(now, q.family)
 	s.tc.Late.Inc()
 	s.tracer.Record(now, telemetry.EvLate, q.id, q.family, device, batch)
 }

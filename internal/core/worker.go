@@ -47,6 +47,13 @@ type worker struct {
 	batchesRun int
 	loads      int
 
+	// Execution-time accounting for the tsdb utilization series: busyAccum
+	// is the total completed execution time, busyStart the start of the
+	// in-flight batch, lastBatch the size of the most recent batch.
+	busyAccum time.Duration
+	busyStart time.Duration
+	lastBatch int
+
 	// Arrival-rate estimation for rate-planned batching policies (Nexus):
 	// per-second counts folded into an EWMA.
 	rateEWMA   float64
@@ -153,6 +160,11 @@ func (w *worker) cancelWake() {
 func (w *worker) fail() []query {
 	w.down = true
 	stranded := w.takeQueue()
+	if w.busy {
+		// Fold the partial execution into the busy-time account: the device
+		// was working until the moment it died.
+		w.busyAccum += w.sys.engine.Now() - w.busyStart
+	}
 	if w.inflightEv != nil {
 		w.inflightEv.Cancel()
 		w.inflightEv = nil
@@ -165,6 +177,15 @@ func (w *worker) fail() []query {
 	w.loadingUntil = 0
 	w.policy.Reset()
 	return stranded
+}
+
+// busyTime returns the device's cumulative execution time up to now,
+// including the elapsed part of an in-flight batch.
+func (w *worker) busyTime(now time.Duration) time.Duration {
+	if w.busy {
+		return w.busyAccum + (now - w.busyStart)
+	}
+	return w.busyAccum
 }
 
 // recover brings the device back with an empty memory: it reloads ref (the
@@ -304,10 +325,13 @@ func (w *worker) execute(now time.Duration, b int) {
 	accuracy := w.hosted.Variant.Accuracy
 	done := now + w.procTime(b)
 	w.busy = true
+	w.busyStart = now
+	w.lastBatch = b
 	w.batchesRun++
 	w.inflight = batch
 	w.inflightEv = w.sys.engine.Schedule(done, func() {
 		w.busy = false
+		w.busyAccum += done - w.busyStart
 		w.inflight = nil
 		w.inflightEv = nil
 		violations := 0

@@ -195,16 +195,23 @@ func TestLatencyPercentiles(t *testing.T) {
 		c.Served(0, 0, 90, time.Duration(i)*time.Millisecond)
 	}
 	s := c.Summarize(-1)
-	if s.P50Latency != 50*time.Millisecond {
-		t.Fatalf("p50 = %v, want 50ms", s.P50Latency)
+	// Percentiles come from the log-linear histogram: accurate to one bucket
+	// width (<= want/32 for values past the linear range).
+	withinBucket := func(name string, got, want time.Duration) {
+		t.Helper()
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > want/32+1 {
+			t.Fatalf("%s = %v, want %v within one bucket width (%v)", name, got, want, want/32+1)
+		}
 	}
-	if s.P95Latency != 95*time.Millisecond {
-		t.Fatalf("p95 = %v, want 95ms", s.P95Latency)
-	}
-	if s.P99Latency != 99*time.Millisecond {
-		t.Fatalf("p99 = %v, want 99ms", s.P99Latency)
-	}
-	if got := s.String(); !strings.Contains(got, "p50=50ms") || !strings.Contains(got, "p99=99ms") {
+	withinBucket("p50", s.P50Latency, 50*time.Millisecond)
+	withinBucket("p95", s.P95Latency, 95*time.Millisecond)
+	withinBucket("p99", s.P99Latency, 99*time.Millisecond)
+	withinBucket("p99.9", s.P999Latency, 100*time.Millisecond)
+	if got := s.String(); !strings.Contains(got, "p50=50ms") || !strings.Contains(got, "p99=") {
 		t.Fatalf("summary string missing percentiles: %s", got)
 	}
 	// Late completions join the latency population too.
@@ -229,5 +236,73 @@ func TestLatencyPercentiles(t *testing.T) {
 	s4 := c4.Summarize(-1)
 	if s4.P50Latency != 0 || strings.Contains(s4.String(), "lat[") {
 		t.Fatalf("empty-latency summary: %+v %q", s4, s4.String())
+	}
+}
+
+// TestSummaryStringGolden pins the full report text format. The format is a
+// compatibility surface (parsed by scripts and diffed across runs); value
+// changes are fine, shape changes are not.
+func TestSummaryStringGolden(t *testing.T) {
+	c := NewCollector(time.Second, fams)
+	for i := 0; i < 10; i++ {
+		c.Arrival(0, 0)
+	}
+	for i := 0; i < 8; i++ {
+		c.Served(0, 0, 90, 10*time.Millisecond)
+	}
+	c.Late(0, 0, 40*time.Millisecond)
+	c.Dropped(0, 0)
+	got := c.Summarize(-1).String()
+	want := "queries=10 served=8 late=1 dropped=1 tput=8.0qps acc=90.00% " +
+		"maxdrop=10.00% violations=0.2000 lat[mean=13ms p50=10ms p95=40ms p99=40ms]"
+	if got != want {
+		t.Fatalf("summary string changed:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLatencyHistogramAccessor(t *testing.T) {
+	c := NewCollector(time.Second, fams)
+	c.Served(0, 0, 90, 10*time.Millisecond)
+	c.Served(0, 1, 90, 20*time.Millisecond)
+	if n := c.LatencyHistogram(0).Count(); n != 1 {
+		t.Fatalf("family 0 histogram count = %d, want 1", n)
+	}
+	merged := c.LatencyHistogram(-1)
+	if merged.Count() != 2 || merged.Min() != int64(10*time.Millisecond) || merged.Max() != int64(20*time.Millisecond) {
+		t.Fatalf("merged histogram wrong: count=%d min=%d max=%d", merged.Count(), merged.Min(), merged.Max())
+	}
+	// The returned histogram is a copy: mutating it must not leak back.
+	merged.Record(1)
+	if c.LatencyHistogram(-1).Count() != 2 {
+		t.Fatal("LatencyHistogram must return a copy")
+	}
+}
+
+func TestWindowPercentiles(t *testing.T) {
+	c := NewCollector(time.Second, fams)
+	// Bin 0: fast completions; bin 2: slow; bin 1: empty.
+	for i := 0; i < 10; i++ {
+		c.Served(100*time.Millisecond, 0, 90, 5*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		c.Late(2*time.Second+100*time.Millisecond, 1, 500*time.Millisecond)
+	}
+	pts := c.WindowPercentiles(-1)
+	if len(pts) != 3 {
+		t.Fatalf("want 3 bins, got %d", len(pts))
+	}
+	if pts[0].Count != 10 || pts[1].Count != 0 || pts[2].Count != 10 {
+		t.Fatalf("bin counts: %+v", pts)
+	}
+	if pts[1].P50 != 0 {
+		t.Fatal("empty bin must report zero percentiles")
+	}
+	if pts[0].P50 >= pts[2].P50 {
+		t.Fatalf("bin 0 p50 %v should be far below bin 2 p50 %v", pts[0].P50, pts[2].P50)
+	}
+	// Per-family view: family 0 only completed in bin 0.
+	fpts := c.WindowPercentiles(0)
+	if fpts[0].Count != 10 || fpts[2].Count != 0 {
+		t.Fatalf("family filter broken: %+v", fpts)
 	}
 }

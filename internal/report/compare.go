@@ -1,0 +1,166 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Baseline mirrors the JSON emitted by proteus-benchjson: one converted
+// `go test -bench` run with environment metadata.
+type Baseline struct {
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	GoVersion  string        `json:"go_version,omitempty"`
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	Commit     string        `json:"commit,omitempty"`
+	Package    string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Results    []BenchResult `json:"results"`
+	Failed     bool          `json:"failed,omitempty"`
+}
+
+// BenchResult is one benchmark entry of a baseline.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ReadBaseline parses a proteus-benchjson output.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("report: parsing baseline: %w", err)
+	}
+	return &b, nil
+}
+
+// ReadBaselineFile parses a baseline file.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name  string
+	OldNs float64
+	NewNs float64
+	// Ratio is new/old ns_per_op; 0 when the old value was 0 (comparison
+	// meaningless, never flagged).
+	Ratio float64
+	// Regressed is set when Ratio exceeds 1+threshold.
+	Regressed bool
+}
+
+// Comparison is the outcome of diffing two baselines.
+type Comparison struct {
+	Deltas []Delta
+	// OnlyOld / OnlyNew list benchmarks present in exactly one side (after
+	// filtering) — renames or removals, reported but never failed on.
+	OnlyOld []string
+	OnlyNew []string
+	// Regressions counts deltas whose Regressed flag is set.
+	Regressions int
+}
+
+// Compare diffs two benchjson baselines, flagging benchmarks whose ns/op
+// grew by more than threshold (0.25 = +25%). filter, when non-nil,
+// restricts the comparison to matching benchmark names. Environments that
+// differ in goos/goarch produce an error unless force is set; differing
+// go versions or GOMAXPROCS are tolerated (they are advisory metadata) but
+// surface in the mismatch note.
+func Compare(old, new *Baseline, threshold float64, filter *regexp.Regexp, force bool) (*Comparison, error) {
+	if err := checkComparable(old, new, force); err != nil {
+		return nil, err
+	}
+	match := func(name string) bool { return filter == nil || filter.MatchString(name) }
+	oldByName := map[string]BenchResult{}
+	for _, r := range old.Results {
+		if match(r.Name) {
+			oldByName[r.Name] = r
+		}
+	}
+	c := &Comparison{}
+	seen := map[string]bool{}
+	for _, r := range new.Results {
+		if !match(r.Name) {
+			continue
+		}
+		o, ok := oldByName[r.Name]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, r.Name)
+			continue
+		}
+		seen[r.Name] = true
+		d := Delta{Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Ratio = r.NsPerOp / o.NsPerOp
+			d.Regressed = d.Ratio > 1+threshold
+		}
+		if d.Regressed {
+			c.Regressions++
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, r := range old.Results {
+		if match(r.Name) && !seen[r.Name] {
+			c.OnlyOld = append(c.OnlyOld, r.Name)
+		}
+	}
+	return c, nil
+}
+
+// checkComparable refuses apples-to-oranges diffs: goos/goarch must match
+// unless forced.
+func checkComparable(old, new *Baseline, force bool) error {
+	var mismatches []string
+	if old.GoOS != "" && new.GoOS != "" && old.GoOS != new.GoOS {
+		mismatches = append(mismatches, fmt.Sprintf("goos %s vs %s", old.GoOS, new.GoOS))
+	}
+	if old.GoArch != "" && new.GoArch != "" && old.GoArch != new.GoArch {
+		mismatches = append(mismatches, fmt.Sprintf("goarch %s vs %s", old.GoArch, new.GoArch))
+	}
+	if len(mismatches) > 0 && !force {
+		return fmt.Errorf("report: baselines not comparable (%s); pass force to override",
+			strings.Join(mismatches, ", "))
+	}
+	return nil
+}
+
+// Format renders the comparison as an aligned text table ending with a
+// verdict line.
+func (c *Comparison) Format(w io.Writer, threshold float64) {
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		} else if d.Ratio == 0 {
+			verdict = "n/a"
+		}
+		fmt.Fprintf(w, "%-40s %12.2f %12.2f %+7.1f%%  %s\n",
+			d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100, verdict)
+	}
+	for _, n := range c.OnlyOld {
+		fmt.Fprintf(w, "%-40s only in old baseline\n", n)
+	}
+	for _, n := range c.OnlyNew {
+		fmt.Fprintf(w, "%-40s only in new baseline\n", n)
+	}
+	if c.Regressions > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed beyond +%.0f%%\n",
+			c.Regressions, threshold*100)
+	} else {
+		fmt.Fprintf(w, "ok: %d benchmark(s) within +%.0f%%\n",
+			len(c.Deltas), threshold*100)
+	}
+}

@@ -1,0 +1,192 @@
+// Package report assembles a run's observability outputs — the metrics
+// collector's windowed series, the tsdb device time-series and SLO burn
+// log, and the controller's decision audit — into one serializable Dump,
+// renders it as a self-contained HTML report (inline SVG, no scripts), and
+// diffs proteus-benchjson baselines for regressions. Everything is
+// byte-deterministic: same-seed runs produce identical JSON and HTML.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"proteus/internal/controlplane"
+	"proteus/internal/metrics"
+	"proteus/internal/tsdb"
+)
+
+// Meta identifies the run a dump came from.
+type Meta struct {
+	Label string `json:"label,omitempty"`
+	Seed  uint64 `json:"seed"`
+	// BinS is the metrics collector's window width in seconds; SampleS the
+	// tsdb device-sampling cadence (0 when no recorder ran).
+	BinS    float64  `json:"bin_s"`
+	SampleS float64  `json:"sample_s,omitempty"`
+	Devices []string `json:"devices,omitempty"`
+	// SLO echoes the resolved burn-monitor parameters.
+	SLOTarget   float64 `json:"slo_target,omitempty"`
+	SLOBurnRate float64 `json:"slo_burn_rate,omitempty"`
+	SLOShortS   float64 `json:"slo_short_s,omitempty"`
+	SLOLongS    float64 `json:"slo_long_s,omitempty"`
+}
+
+// WindowPoint is one collector bin: demand/served rates, accuracy,
+// violations and latency quantiles.
+type WindowPoint struct {
+	StartS         float64 `json:"start_s"`
+	DemandQPS      float64 `json:"demand_qps"`
+	ServedQPS      float64 `json:"served_qps"`
+	Accuracy       float64 `json:"accuracy"`
+	Violations     int     `json:"violations"`
+	ViolationRatio float64 `json:"violation_ratio"`
+	Count          uint64  `json:"completions"`
+	P50MS          float64 `json:"p50_ms"`
+	P95MS          float64 `json:"p95_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	P999MS         float64 `json:"p999_ms"`
+}
+
+// FamilySummary is one family's whole-run aggregate.
+type FamilySummary struct {
+	Name    string          `json:"name"`
+	Summary metrics.Summary `json:"summary"`
+}
+
+// Dump is the full serializable state of one run.
+type Dump struct {
+	Meta     Meta                      `json:"meta"`
+	Summary  metrics.Summary           `json:"summary"`
+	Families []FamilySummary           `json:"families,omitempty"`
+	Windows  []WindowPoint             `json:"windows,omitempty"`
+	Samples  []tsdb.Sample             `json:"samples,omitempty"`
+	Burns    []tsdb.BurnEvent          `json:"burns,omitempty"`
+	Plans    []controlplane.PlanRecord `json:"plans,omitempty"`
+}
+
+// BuildInput names the sources a Dump is assembled from. Collector is
+// required; Recorder, Plans and DeviceNames are optional.
+type BuildInput struct {
+	Label       string
+	Seed        uint64
+	Collector   *metrics.Collector
+	Recorder    *tsdb.Recorder
+	Plans       []controlplane.PlanRecord
+	DeviceNames []string
+}
+
+// Build assembles a Dump. NaN series values (accuracy of an empty bin) are
+// sanitized to 0 so the dump always marshals.
+func Build(in BuildInput) *Dump {
+	c := in.Collector
+	d := &Dump{
+		Meta: Meta{
+			Label:   in.Label,
+			Seed:    in.Seed,
+			BinS:    c.Interval().Seconds(),
+			Devices: in.DeviceNames,
+		},
+		Summary: c.Summarize(-1),
+		Plans:   append([]controlplane.PlanRecord(nil), in.Plans...),
+	}
+	// Solve times are wall-clock measurements and the only nondeterministic
+	// fields of a plan record; zero them so same-seed dumps stay
+	// byte-identical.
+	for i := range d.Plans {
+		d.Plans[i].SolveTime = 0
+		d.Plans[i].Stats.SolverTime = 0
+	}
+	for f, name := range c.Families() {
+		d.Families = append(d.Families, FamilySummary{Name: name, Summary: c.Summarize(f)})
+	}
+	series := c.Series(-1)
+	lats := c.WindowPercentiles(-1)
+	binS := c.Interval().Seconds()
+	for i, p := range series {
+		w := WindowPoint{
+			StartS:     p.Start.Seconds(),
+			DemandQPS:  p.DemandQPS,
+			ServedQPS:  p.ThroughputQPS,
+			Accuracy:   sanitize(p.EffectiveAccuracy),
+			Violations: p.Violations,
+		}
+		if arrived := p.DemandQPS * binS; arrived > 0 {
+			w.ViolationRatio = float64(p.Violations) / arrived
+		}
+		if i < len(lats) {
+			w.Count = lats[i].Count
+			w.P50MS = ms(lats[i].P50)
+			w.P95MS = ms(lats[i].P95)
+			w.P99MS = ms(lats[i].P99)
+			w.P999MS = ms(lats[i].P999)
+		}
+		d.Windows = append(d.Windows, w)
+	}
+	if in.Recorder != nil {
+		d.Meta.SampleS = in.Recorder.SampleInterval().Seconds()
+		slo := in.Recorder.SLO()
+		d.Meta.SLOTarget = slo.Target
+		d.Meta.SLOBurnRate = slo.BurnRate
+		d.Meta.SLOShortS = slo.ShortWindow.Seconds()
+		d.Meta.SLOLongS = slo.LongWindow.Seconds()
+		d.Samples = in.Recorder.Samples()
+		d.Burns = in.Recorder.Burns()
+	}
+	return d
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// WriteJSON serializes the dump with a stable layout: encoding/json visits
+// struct fields in declaration order, so same-seed dumps are byte-identical.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteFile writes the dump JSON to path.
+func (d *Dump) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDump parses a dump written by WriteJSON.
+func ReadDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: parsing dump: %w", err)
+	}
+	return &d, nil
+}
+
+// ReadDumpFile parses a dump file.
+func ReadDumpFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDump(f)
+}

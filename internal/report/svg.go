@@ -1,0 +1,124 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart geometry shared by the SVG panels. All coordinates are formatted
+// with fixed precision so renders are byte-deterministic.
+const (
+	chartW   = 720
+	chartH   = 180
+	chartPad = 36
+)
+
+// f2 formats a float with two decimals — the single formatting path for
+// every SVG coordinate.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// scale maps v in [lo,hi] to pixel range [a,b] (clamping), degenerating to
+// the midpoint when the domain is empty.
+func scale(v, lo, hi, a, b float64) float64 {
+	if hi <= lo {
+		return (a + b) / 2
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return a + t*(b-a)
+}
+
+// polyline renders one series as an SVG polyline. xs and ys must have equal
+// length; an empty series renders nothing.
+func polyline(sb *strings.Builder, xs, ys []float64, xLo, xHi, yLo, yHi float64, color string) {
+	if len(xs) == 0 {
+		return
+	}
+	sb.WriteString(`<polyline fill="none" stroke="`)
+	sb.WriteString(color)
+	sb.WriteString(`" stroke-width="1.5" points="`)
+	for i := range xs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		x := scale(xs[i], xLo, xHi, chartPad, chartW-chartPad)
+		y := scale(ys[i], yLo, yHi, chartH-chartPad, chartPad)
+		sb.WriteString(f2(x))
+		sb.WriteByte(',')
+		sb.WriteString(f2(y))
+	}
+	sb.WriteString("\"/>\n")
+}
+
+// band shades a horizontal time interval (a burn episode) across the chart.
+func band(sb *strings.Builder, t0, t1, xLo, xHi float64, color string) {
+	x0 := scale(t0, xLo, xHi, chartPad, chartW-chartPad)
+	x1 := scale(t1, xLo, xHi, chartPad, chartW-chartPad)
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	fmt.Fprintf(sb, `<rect x="%s" y="%d" width="%s" height="%d" fill="%s" opacity="0.25"/>`+"\n",
+		f2(x0), chartPad, f2(x1-x0), chartH-2*chartPad, color)
+}
+
+// axes draws the chart frame with min/max labels on both axes.
+func axes(sb *strings.Builder, title, yMinLabel, yMaxLabel, xMinLabel, xMaxLabel string) {
+	fmt.Fprintf(sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`+"\n",
+		chartPad, chartPad, chartW-2*chartPad, chartH-2*chartPad)
+	fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="12" fill="#333">%s</text>`+"\n",
+		chartPad, chartPad-8, escape(title))
+	fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="9" fill="#666" text-anchor="end">%s</text>`+"\n",
+		chartPad-4, chartPad+8, escape(yMaxLabel))
+	fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="9" fill="#666" text-anchor="end">%s</text>`+"\n",
+		chartPad-4, chartH-chartPad, escape(yMinLabel))
+	fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="9" fill="#666">%s</text>`+"\n",
+		chartPad, chartH-chartPad+12, escape(xMinLabel))
+	fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="9" fill="#666" text-anchor="end">%s</text>`+"\n",
+		chartW-chartPad, chartH-chartPad+12, escape(xMaxLabel))
+}
+
+// legend draws labeled color keys along the chart top edge.
+func legend(sb *strings.Builder, entries [][2]string) {
+	x := chartW - chartPad - 110*len(entries)
+	for _, e := range entries {
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", x, chartPad-18, e[1])
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="10" fill="#333">%s</text>`+"\n", x+14, chartPad-9, escape(e[0]))
+		x += 110
+	}
+}
+
+// openSVG/closeSVG wrap one chart panel.
+func openSVG(sb *strings.Builder) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartW, chartH, chartW, chartH)
+}
+
+func closeSVG(sb *strings.Builder) { sb.WriteString("</svg>\n") }
+
+// escape makes a string safe inside SVG/HTML text nodes and attributes.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// heatColor maps utilization in [0,1000] milli to a white→red ramp with
+// deterministic hex formatting.
+func heatColor(utilMilli int) string {
+	if utilMilli < 0 {
+		utilMilli = 0
+	}
+	if utilMilli > 1000 {
+		utilMilli = 1000
+	}
+	// 0 → #f7f7f7, 1000 → #c81414: linear in each channel.
+	t := float64(utilMilli) / 1000
+	r := int(0xf7 + t*(0xc8-0xf7))
+	g := int(0xf7 + t*(0x14-0xf7))
+	b := int(0xf7 + t*(0x14-0xf7))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}

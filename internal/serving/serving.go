@@ -27,6 +27,7 @@ import (
 	"proteus/internal/profiles"
 	"proteus/internal/router"
 	"proteus/internal/telemetry"
+	"proteus/internal/tsdb"
 )
 
 // Config describes a live serving cluster.
@@ -61,7 +62,14 @@ type Config struct {
 	// Tracer, when non-nil, records per-query lifecycle events with
 	// wall-clock timestamps (durations since server start).
 	Tracer *telemetry.Tracer
-	Seed   uint64
+	// TSDB, when non-nil, records per-device time-series samples off a
+	// wall-clock ticker and runs the sliding-window SLO burn monitor —
+	// the same recorder the simulator drives off its virtual clock.
+	TSDB *tsdb.Recorder
+	// SLOBurnRealloc lets an SLO burn start trigger an early re-allocation
+	// (subject to the controller cooldown). Off by default.
+	SLOBurnRealloc bool
+	Seed           uint64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -155,6 +163,7 @@ type Server struct {
 	// trace identities without taking mu.
 	registry  *telemetry.Registry
 	tracer    *telemetry.Tracer
+	recorder  *tsdb.Recorder
 	tc        telemetry.SystemCounters
 	rc        telemetry.RouterCounters
 	nextID    atomic.Uint64
@@ -194,6 +203,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s.controller = controlplane.NewController(
 		cfg.Allocator, cfg.Cluster, cfg.Families, s.slos, cfg.ControlPeriod, cfg.ControlPeriod/3)
 	s.controller.Instrument(cfg.Telemetry)
+	s.recorder = cfg.TSDB
+	s.recorder.Init(len(cfg.Families), s.onBurn)
 	s.tc.DevicesUp.Set(int64(cfg.Cluster.Size()))
 
 	for _, dev := range cfg.Cluster.Devices() {
@@ -219,6 +230,10 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.controlLoop()
+	if s.recorder != nil {
+		s.wg.Add(1)
+		go s.sampleLoop()
+	}
 	if !cfg.Faults.Empty() {
 		s.wg.Add(1)
 		go s.faultLoop()
@@ -252,6 +267,50 @@ func (s *Server) controlLoop() {
 		case trig := <-s.reallocc:
 			s.maybeReallocate(trig)
 		}
+	}
+}
+
+// sampleLoop drives the tsdb recorder off a wall-clock ticker: the same
+// per-device snapshot the simulator takes on its virtual clock.
+func (s *Server) sampleLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.recorder.SampleInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			now := s.now()
+			states := make([]tsdb.DeviceState, len(s.workers))
+			for d, w := range s.workers {
+				states[d] = w.deviceState()
+			}
+			s.recorder.Sample(now, states)
+		}
+	}
+}
+
+// onBurn receives SLO burn-state transitions from the tsdb recorder: they
+// enter the lifecycle trace and the controller's audit log, and — when
+// enabled — a burn start nudges the control loop. Runs under the recorder's
+// lock, so it must not call back into the recorder; requestRealloc is a
+// non-blocking channel send.
+func (s *Server) onBurn(ev tsdb.BurnEvent) {
+	kind := telemetry.EvSLOBurnStart
+	if !ev.Start {
+		kind = telemetry.EvSLOBurnEnd
+	}
+	s.tracer.Record(ev.At, kind, 0, ev.Family, -1, -1)
+	s.controller.NoteBurn(controlplane.SLOBurnRecord{
+		At:        ev.At,
+		Family:    ev.Family,
+		Start:     ev.Start,
+		ShortBurn: ev.ShortBurn,
+		LongBurn:  ev.LongBurn,
+	})
+	if ev.Start && s.cfg.SLOBurnRealloc {
+		s.requestRealloc("slo_burn")
 	}
 }
 
@@ -375,6 +434,7 @@ func (s *Server) Infer(family string) Response {
 	id := s.nextID.Add(1) - 1
 	s.tc.Arrivals.Inc()
 	s.tracer.Record(now, telemetry.EvArrival, id, q, -1, -1)
+	s.recorder.Arrival(now, q)
 	s.mu.Lock()
 	s.stats.Observe(now, q)
 	s.collector.Arrival(now, q)
@@ -413,6 +473,7 @@ func (s *Server) recordDrop(q liveQuery) {
 	now := s.now()
 	s.tc.Dropped.Inc()
 	s.tracer.Record(now, telemetry.EvDropped, q.id, q.family, -1, -1)
+	s.recorder.Violation(now, q.family)
 	s.mu.Lock()
 	s.collector.Dropped(now, q.family)
 	s.mu.Unlock()
@@ -436,6 +497,7 @@ func (s *Server) recordCompletion(q liveQuery, variant string, accuracy float64,
 	} else {
 		s.tc.Late.Inc()
 		s.tracer.Record(now, telemetry.EvLate, q.id, q.family, device, batch)
+		s.recorder.Violation(now, q.family)
 	}
 	s.mu.Lock()
 	if served {

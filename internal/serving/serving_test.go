@@ -11,6 +11,7 @@ import (
 	"proteus/internal/allocator"
 	"proteus/internal/cluster"
 	"proteus/internal/models"
+	"proteus/internal/tsdb"
 )
 
 func testConfig(t *testing.T) Config {
@@ -306,5 +307,50 @@ loop:
 	sum := s.Summary()
 	if sum.Served == 0 {
 		t.Fatal("nothing served during the shift")
+	}
+}
+
+// TestLiveRecorderSamplesDevices covers the wall-clock side of the shared
+// tsdb sampler: the server's ticker loop must produce per-device samples
+// with sane utilization, and the data path must feed the SLO monitor
+// without tripping the race detector.
+func TestLiveRecorderSamplesDevices(t *testing.T) {
+	cfg := testConfig(t)
+	rec := tsdb.NewRecorder(tsdb.Config{SampleInterval: 50 * time.Millisecond})
+	cfg.TSDB = rec
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Infer("efficientnet")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	devices := cfg.Cluster.Size()
+	var samples []tsdb.Sample
+	for time.Now().Before(deadline) {
+		samples = rec.Samples()
+		if len(samples) >= 2*devices {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if len(samples) < 2*devices {
+		t.Fatalf("only %d samples after 3s, want >= %d", len(samples), 2*devices)
+	}
+	if len(samples)%devices != 0 {
+		t.Fatalf("%d samples is not a whole number of %d-device ticks", len(samples), devices)
+	}
+	for _, smp := range samples {
+		if smp.UtilMilli < 0 || smp.UtilMilli > 1000 {
+			t.Fatalf("utilization out of range: %+v", smp)
+		}
+		if smp.Device < 0 || smp.Device >= devices {
+			t.Fatalf("device index out of range: %+v", smp)
+		}
+		if !smp.Up {
+			t.Fatalf("healthy device sampled as down: %+v", smp)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"proteus/internal/numeric"
 	"proteus/internal/profiles"
 	"proteus/internal/telemetry"
+	"proteus/internal/tsdb"
 )
 
 // liveQuery is one in-flight query inside the live cluster.
@@ -51,6 +52,12 @@ type liveWorker struct {
 	rateEWMA   float64
 	rateBucket int64
 	rateCount  int
+
+	// Execution-time accounting for the tsdb utilization series (guarded by
+	// mu): busyAccum is the total executed batch latency, lastBatch the size
+	// of the most recent batch.
+	busyAccum time.Duration
+	lastBatch int
 }
 
 func newLiveWorker(s *Server, dev cluster.Device, policy batching.Policy) *liveWorker {
@@ -185,6 +192,23 @@ func (w *liveWorker) arrivalRate() float64 {
 		return float64(w.rateCount)
 	}
 	return w.rateEWMA
+}
+
+// deviceState snapshots the worker for the tsdb sampler.
+func (w *liveWorker) deviceState() tsdb.DeviceState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	variant := ""
+	if w.hosted != nil {
+		variant = w.hosted.Variant.ID()
+	}
+	return tsdb.DeviceState{
+		Up:         !w.down,
+		QueueDepth: len(w.queue),
+		LastBatch:  w.lastBatch,
+		Variant:    variant,
+		BusyTime:   w.busyAccum,
+	}
 }
 
 // sleepInterruptible sleeps for d, returning early on a wake-up or stop.
@@ -355,6 +379,8 @@ func (w *liveWorker) executeBatch(hosted allocator.VariantRef, batch []liveQuery
 	}
 	time.Sleep(lat)
 	w.mu.Lock()
+	w.busyAccum += lat
+	w.lastBatch = len(batch)
 	died := w.down
 	w.mu.Unlock()
 	if died {

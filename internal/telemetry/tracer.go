@@ -33,21 +33,29 @@ const (
 	EvRequeued
 	// EvRetried: stranded query was granted a retry and re-routed.
 	EvRetried
+	// EvSLOBurnStart: a family's SLO burn rate exceeded the alerting
+	// threshold in both monitor windows (family in the Family field; the
+	// query ID is 0 — burn events are per family, not per query).
+	EvSLOBurnStart
+	// EvSLOBurnEnd: the burn episode ended.
+	EvSLOBurnEnd
 
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
-	EvArrival:     "arrival",
-	EvRoute:       "route",
-	EvEnqueue:     "enqueue",
-	EvBatchFormed: "batch_formed",
-	EvExecStart:   "exec_start",
-	EvDone:        "done",
-	EvLate:        "late",
-	EvDropped:     "dropped",
-	EvRequeued:    "requeued",
-	EvRetried:     "retried",
+	EvArrival:      "arrival",
+	EvRoute:        "route",
+	EvEnqueue:      "enqueue",
+	EvBatchFormed:  "batch_formed",
+	EvExecStart:    "exec_start",
+	EvDone:         "done",
+	EvLate:         "late",
+	EvDropped:      "dropped",
+	EvRequeued:     "requeued",
+	EvRetried:      "retried",
+	EvSLOBurnStart: "slo_burn_start",
+	EvSLOBurnEnd:   "slo_burn_end",
 }
 
 // String returns the stable wire name of the event kind.

@@ -1,0 +1,237 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank quantile over raw sorted samples — the
+// reference the histogram must stay within one bucket width of.
+func exactQuantile(sorted []int64, p float64) int64 {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// maxQuantileError is the error bound: the width of the bucket holding the
+// exact value, i.e. one bucket width.
+func maxQuantileError(v int64) int64 {
+	return bucketWidth(bucketIndex(v))
+}
+
+func checkQuantiles(t *testing.T, name string, values []int64) {
+	t.Helper()
+	h := &Histogram{}
+	var sum int64
+	for _, v := range values {
+		h.Record(v)
+		if v < 0 {
+			v = 0
+		}
+		sum += v
+	}
+	sorted := make([]int64, len(values))
+	for i, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		sorted[i] = v
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	if h.Count() != uint64(len(values)) {
+		t.Fatalf("%s: count = %d, want %d", name, h.Count(), len(values))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("%s: sum = %d, want %d", name, h.Sum(), sum)
+	}
+	if h.Min() != sorted[0] {
+		t.Fatalf("%s: min = %d, want %d", name, h.Min(), sorted[0])
+	}
+	if h.Max() != sorted[len(sorted)-1] {
+		t.Fatalf("%s: max = %d, want %d", name, h.Max(), sorted[len(sorted)-1])
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		got := h.Quantile(p)
+		want := exactQuantile(sorted, p)
+		bound := maxQuantileError(want)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > bound {
+			t.Errorf("%s: q(%g) = %d, exact %d, |diff| %d > bucket width %d",
+				name, p, got, want, diff, bound)
+		}
+	}
+}
+
+func TestQuantileRankErrorBoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5000)
+		values := make([]int64, n)
+		switch trial % 4 {
+		case 0: // uniform microsecond-to-second latencies
+			for i := range values {
+				values[i] = rng.Int63n(int64(1e9))
+			}
+		case 1: // exponential-ish tail
+			for i := range values {
+				values[i] = int64(rng.ExpFloat64() * 5e6)
+			}
+		case 2: // small values exercising the linear buckets
+			for i := range values {
+				values[i] = rng.Int63n(64)
+			}
+		case 3: // full int64 range
+			for i := range values {
+				values[i] = rng.Int63()
+			}
+		}
+		checkQuantiles(t, "random", values)
+	}
+}
+
+func TestQuantileAdversarialInputs(t *testing.T) {
+	cases := map[string][]int64{
+		"single":          {7},
+		"all-zero":        {0, 0, 0, 0},
+		"all-identical":   {123456789, 123456789, 123456789},
+		"negatives-clamp": {-5, -1, 3, 10},
+		"max-int64":       {math.MaxInt64, 1, math.MaxInt64},
+		"powers-of-two": {
+			1, 2, 4, 8, 16, 32, 64, 128, 1 << 20, 1 << 40, 1 << 62,
+		},
+		"power-edges": {
+			31, 32, 33, 63, 64, 65, (1 << 30) - 1, 1 << 30, (1 << 30) + 1,
+		},
+		"bimodal": {
+			1, 1, 1, 1, 1, int64(1e9), int64(1e9), int64(1e9),
+		},
+	}
+	for name, values := range cases {
+		checkQuantiles(t, name, values)
+	}
+}
+
+func TestMergeAssociativeAndEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([][]int64, 3)
+	var all []int64
+	for p := range parts {
+		n := 200 + rng.Intn(300)
+		parts[p] = make([]int64, n)
+		for i := range parts[p] {
+			parts[p][i] = rng.Int63n(int64(1e8))
+		}
+		all = append(all, parts[p]...)
+	}
+	record := func(values []int64) *Histogram {
+		h := &Histogram{}
+		for _, v := range values {
+			h.Record(v)
+		}
+		return h
+	}
+	a, b, c := record(parts[0]), record(parts[1]), record(parts[2])
+
+	// (a+b)+c
+	left := a.Clone()
+	left.Merge(b)
+	left.Merge(c)
+	// a+(b+c)
+	bc := b.Clone()
+	bc.Merge(c)
+	right := a.Clone()
+	right.Merge(bc)
+	// direct recording of the union
+	direct := record(all)
+
+	if !reflect.DeepEqual(left, right) {
+		t.Fatal("merge is not associative: (a+b)+c != a+(b+c)")
+	}
+	if !reflect.DeepEqual(trimmed(left), trimmed(direct)) {
+		t.Fatal("merged histogram differs from histogram of the union")
+	}
+}
+
+// trimmed drops trailing zero buckets so histograms built through different
+// grow paths compare equal when they hold the same distribution.
+func trimmed(h *Histogram) *Histogram {
+	out := h.Clone()
+	n := len(out.counts)
+	for n > 0 && out.counts[n-1] == 0 {
+		n--
+	}
+	out.counts = out.counts[:n]
+	return out
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	h := &Histogram{}
+	h.Record(100)
+	before := h.Clone()
+	h.Merge(nil)
+	h.Merge(&Histogram{})
+	if !reflect.DeepEqual(h, before) {
+		t.Fatal("merging nil/empty changed the histogram")
+	}
+	empty := &Histogram{}
+	empty.Merge(h)
+	if empty.Count() != 1 || empty.Min() != 100 || empty.Max() != 100 {
+		t.Fatalf("merge into empty: count=%d min=%d max=%d", empty.Count(), empty.Min(), empty.Max())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := &Histogram{}
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram accessors must all return 0")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	if h.Buckets() != nil {
+		t.Fatal("empty histogram must have no buckets")
+	}
+}
+
+func TestBucketGeometry(t *testing.T) {
+	// Every representable boundary must round-trip: low and high of bucket i
+	// both map back to i, and consecutive buckets tile the value space.
+	for i := 0; i < 40*subBucketCount; i++ {
+		lo, hi := bucketLow(i), bucketHigh(i)
+		if hi < lo {
+			break // beyond int64 range
+		}
+		if bucketIndex(lo) != i {
+			t.Fatalf("bucketIndex(low(%d)=%d) = %d", i, lo, bucketIndex(lo))
+		}
+		if bucketIndex(hi) != i {
+			t.Fatalf("bucketIndex(high(%d)=%d) = %d", i, hi, bucketIndex(hi))
+		}
+		if i > 0 && bucketHigh(i-1)+1 != lo {
+			t.Fatalf("gap between bucket %d (high %d) and %d (low %d)",
+				i-1, bucketHigh(i-1), i, lo)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := &Histogram{}
+	h.Record(int64(1e9)) // pre-grow
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)%int64(1e9) + 1)
+	}
+}

@@ -44,9 +44,11 @@ import (
 	"proteus/internal/metrics"
 	"proteus/internal/models"
 	"proteus/internal/profiles"
+	"proteus/internal/report"
 	"proteus/internal/serving"
 	"proteus/internal/telemetry"
 	"proteus/internal/trace"
+	"proteus/internal/tsdb"
 )
 
 // Core serving types, re-exported from the implementation packages.
@@ -112,6 +114,27 @@ type (
 	TelemetryRegistry = telemetry.Registry
 	// PlanRecord is one control-period entry of the decision audit log.
 	PlanRecord = controlplane.PlanRecord
+	// TSDBRecorder collects per-device sampled time-series and the SLO
+	// burn-rate monitor state (SystemConfig.TSDB / LiveConfig.TSDB). A nil
+	// recorder is a valid no-op, like the tracer.
+	TSDBRecorder = tsdb.Recorder
+	// TSDBConfig parameterizes a TSDBRecorder.
+	TSDBConfig = tsdb.Config
+	// SLOConfig tunes the multi-window burn-rate monitor.
+	SLOConfig = tsdb.SLOConfig
+	// BurnEvent is one SLO burn-episode transition.
+	BurnEvent = tsdb.BurnEvent
+	// DeviceSample is one point of a device's sampled time-series.
+	DeviceSample = tsdb.Sample
+	// LatencyHistogram is the log-linear bucketed histogram behind every
+	// latency percentile in Summary and the windowed series.
+	LatencyHistogram = tsdb.Histogram
+	// RunDump is the full serializable observability state of one run.
+	RunDump = report.Dump
+	// RunDumpInput names the sources a RunDump is assembled from.
+	RunDumpInput = report.BuildInput
+	// BenchBaseline is a parsed proteus-benchjson output.
+	BenchBaseline = report.Baseline
 )
 
 // Device types of the paper's testbed.
@@ -181,6 +204,21 @@ func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
 
 // NewTelemetryRegistry returns an empty counter/gauge registry.
 func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTSDBRecorder returns an empty windowed-observability recorder with
+// defaults applied (1s sampling, 1% SLO budget, 2x burn threshold over
+// 5s/60s windows).
+func NewTSDBRecorder(cfg TSDBConfig) *TSDBRecorder { return tsdb.NewRecorder(cfg) }
+
+// BuildRunDump assembles a run's observability outputs into a RunDump.
+func BuildRunDump(in RunDumpInput) *RunDump { return report.Build(in) }
+
+// ReadRunDump parses a RunDump JSON file.
+func ReadRunDump(path string) (*RunDump, error) { return report.ReadDumpFile(path) }
+
+// RenderRunReport renders a RunDump as a self-contained HTML report
+// (inline SVG, no scripts). Byte-deterministic for a given dump.
+func RenderRunReport(d *RunDump) []byte { return report.RenderHTML(d) }
 
 // NewSystem assembles a simulated serving system.
 func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
