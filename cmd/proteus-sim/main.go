@@ -45,13 +45,18 @@ import (
 )
 
 type config struct {
-	ModelAllocation string      `json:"model_allocation"`
-	Batching        string      `json:"batching"`
-	ClusterSize     int         `json:"cluster_size"`
-	SLOMultiplier   float64     `json:"slo_multiplier"`
-	Seed            uint64      `json:"seed"`
-	SolverBudgetMS  int         `json:"solver_budget_ms"`
-	Trace           traceConfig `json:"trace"`
+	ModelAllocation string  `json:"model_allocation"`
+	Batching        string  `json:"batching"`
+	ClusterSize     int     `json:"cluster_size"`
+	SLOMultiplier   float64 `json:"slo_multiplier"`
+	Seed            uint64  `json:"seed"`
+	SolverBudgetMS  int     `json:"solver_budget_ms"`
+	// SolverParallelism is the number of concurrent LP-relaxation solvers
+	// per allocation MILP solve. Plans are byte-identical for every value
+	// ≥ 1 (extra workers only shorten solve wall-clock time); 1 is fully
+	// serial, 0 (the default) uses all cores.
+	SolverParallelism int         `json:"solver_parallelism"`
+	Trace             traceConfig `json:"trace"`
 	// Devices overrides cluster_size with an explicit fleet, e.g.
 	// [{"type": "cpu", "count": 4}, {"type": "v100", "count": 2}].
 	// Unknown device types are a config error, not a crash.
@@ -190,8 +195,9 @@ func main() {
 		fatal(err)
 	}
 	alloc, err := proteus.NewAllocator(cfg.ModelAllocation, &proteus.MILPOptions{
-		TimeLimit: time.Duration(cfg.SolverBudgetMS) * time.Millisecond,
-		RelGap:    0.005,
+		TimeLimit:   time.Duration(cfg.SolverBudgetMS) * time.Millisecond,
+		RelGap:      0.005,
+		Parallelism: cfg.SolverParallelism,
 	})
 	if err != nil {
 		fatal(err)

@@ -42,6 +42,7 @@ func main() {
 		drive     = flag.Duration("drive", 0, "self-drive duration (0 = serve forever)")
 		driveQPS  = flag.Float64("drive-qps", 100, "total QPS during self-drive")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		solverPar = flag.Int("solver-parallelism", 0, "concurrent LP solvers per allocation MILP solve; plans are identical for any value ≥ 1 (1 = serial, 0 = all cores)")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	alloc, err := proteus.NewAllocator(*allocName, nil)
+	alloc, err := proteus.NewAllocator(*allocName, &proteus.MILPOptions{Parallelism: *solverPar})
 	if err != nil {
 		fatal(err)
 	}

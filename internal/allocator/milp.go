@@ -24,10 +24,16 @@ type MILPOptions struct {
 	// MaxNodes bounds branch-and-bound nodes per solve.
 	MaxNodes int
 	// RelGap is the accepted relative optimality gap (default 1e-6, i.e.
-	// effectively exact). The control plane relaxes it to trade optimality
-	// for solve time on large instances, as the paper does by falling back
-	// to heuristics past its 60-second horizon (§6.8).
+	// effectively exact; negative demands an exact proof, gap 0). The
+	// control plane relaxes it to trade optimality for solve time on large
+	// instances, as the paper does by falling back to heuristics past its
+	// 60-second horizon (§6.8).
 	RelGap float64
+	// Parallelism is the number of concurrent LP-relaxation solvers per
+	// MILP solve. Results are byte-identical for every value ≥ 1; extra
+	// workers only shorten wall-clock time. 1 is fully serial; 0 (the
+	// default) uses runtime.GOMAXPROCS(0).
+	Parallelism int
 	// StallNodes stops a solve early (keeping the incumbent) after that
 	// many branch-and-bound nodes without improvement. Default 3000;
 	// negative disables.
@@ -56,11 +62,18 @@ type MILPOptions struct {
 }
 
 func (o *MILPOptions) withDefaults() MILPOptions {
-	out := MILPOptions{TimeLimit: 20 * time.Second, MaxNodes: 200_000, MaxBackoffs: 600, DemandFloor: 0.01, StallNodes: 3000, SwitchCost: 0.05}
+	out := MILPOptions{TimeLimit: 20 * time.Second, MaxNodes: 200_000, MaxBackoffs: 600, DemandFloor: 0.01, StallNodes: 3000, SwitchCost: 0.05, RelGap: 1e-6}
 	if o != nil {
 		out.PerDevice = o.PerDevice
 		out.Filter = o.Filter
-		out.RelGap = o.RelGap
+		if o.RelGap > 0 {
+			out.RelGap = o.RelGap
+		} else if o.RelGap < 0 {
+			out.RelGap = 0
+		}
+		if o.Parallelism > 0 {
+			out.Parallelism = o.Parallelism
+		}
 		if o.SwitchCost > 0 {
 			out.SwitchCost = o.SwitchCost
 		} else if o.SwitchCost < 0 {
@@ -344,11 +357,13 @@ func (m *MILP) solveAggregated(in *Input, demand []float64) (*Allocation, []bool
 	}
 
 	sol := milp.Solve(p, &milp.Options{
-		TimeLimit:  m.opts.TimeLimit,
-		MaxNodes:   m.opts.MaxNodes,
-		RelGap:     m.opts.RelGap,
-		StallNodes: m.opts.StallNodes,
-		WarmStart:  warm,
+		TimeLimit:   m.opts.TimeLimit,
+		MaxNodes:    m.opts.MaxNodes,
+		RelGap:      m.opts.RelGap,
+		IntTol:      -1, // solver default
+		StallNodes:  m.opts.StallNodes,
+		Parallelism: m.opts.Parallelism,
+		WarmStart:   warm,
 	})
 	switch sol.Status {
 	case milp.Optimal, milp.Feasible:
@@ -393,7 +408,7 @@ func (m *MILP) solveAggregated(in *Input, demand []float64) (*Allocation, []bool
 
 	alloc := NewAllocation(in)
 	alloc.Optimal = sol.Status == milp.Optimal
-	alloc.Stats = solverStats(&sol)
+	alloc.Stats = solverStats(&sol, m.opts.Parallelism)
 	// Expand group counts to concrete devices, preferring devices that
 	// already host the same variant (minimizes loading churn).
 	used := make(map[int]bool)
@@ -538,10 +553,12 @@ func (m *MILP) solvePerDevice(in *Input, demand []float64) (*Allocation, []bool,
 	}
 
 	sol := milp.Solve(p, &milp.Options{
-		TimeLimit:  m.opts.TimeLimit,
-		MaxNodes:   m.opts.MaxNodes,
-		RelGap:     m.opts.RelGap,
-		StallNodes: m.opts.StallNodes,
+		TimeLimit:   m.opts.TimeLimit,
+		MaxNodes:    m.opts.MaxNodes,
+		RelGap:      m.opts.RelGap,
+		IntTol:      -1, // solver default
+		StallNodes:  m.opts.StallNodes,
+		Parallelism: m.opts.Parallelism,
 	})
 	switch sol.Status {
 	case milp.Optimal, milp.Feasible:
@@ -553,7 +570,7 @@ func (m *MILP) solvePerDevice(in *Input, demand []float64) (*Allocation, []bool,
 
 	alloc := NewAllocation(in)
 	alloc.Optimal = sol.Status == milp.Optimal
-	alloc.Stats = solverStats(&sol)
+	alloc.Stats = solverStats(&sol, m.opts.Parallelism)
 	for _, pr := range pairs {
 		if sol.X[pr.x] < 0.5 {
 			continue
@@ -619,12 +636,13 @@ func (m *MILP) pickDevices(group []int, ref VariantRef, count int, used map[int]
 // solverStats converts a branch-and-bound solution into the audit-log
 // form, sanitizing infinities (a Limit-terminated solve may carry an
 // unproven +Inf bound, which JSON cannot encode).
-func solverStats(sol *milp.Solution) SolverStats {
+func solverStats(sol *milp.Solution, parallelism int) SolverStats {
 	st := SolverStats{
-		Objective:  sol.Objective,
-		Nodes:      sol.Nodes,
-		SolverTime: sol.Elapsed,
-		RelGap:     -1,
+		Objective:   sol.Objective,
+		Nodes:       sol.Nodes,
+		SolverTime:  sol.Elapsed,
+		RelGap:      -1,
+		Parallelism: milp.EffectiveParallelism(parallelism),
 	}
 	if gap := sol.Gap(); !math.IsInf(gap, 0) && !math.IsNaN(gap) {
 		st.RelGap = gap

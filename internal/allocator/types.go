@@ -110,6 +110,9 @@ type SolverStats struct {
 	// Allocation.SolveTime additionally covers warm-start heuristics,
 	// polishing and every back-off iteration.
 	SolverTime time.Duration `json:"solver_time_ns"`
+	// Parallelism is the resolved number of concurrent LP-relaxation
+	// solvers the solve ran with (0 for allocators that never solved).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Allocation is a complete resource-management plan.

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -26,7 +27,18 @@ import (
 //   - range over a map, whose iteration order is randomized by the runtime.
 //     The canonical fix — collect the keys, sort, iterate the slice — is
 //     recognized and not reported; genuinely order-insensitive loops (pure
-//     reductions) should carry a //lint:allow determinism comment saying so.
+//     reductions) should carry a //lint:allow determinism comment saying so;
+//   - unaccounted goroutines: a `go` statement must be fork-join structured —
+//     a sync.WaitGroup.Add call before it in the same function, and a
+//     function literal that defers the matching Done — so concurrency stays
+//     a bounded, joined implementation detail (like the MILP solver's
+//     speculative LP workers) rather than free-running state that can leak
+//     scheduling order into results;
+//   - select statements with two or more communication clauses: the runtime
+//     picks among simultaneously ready cases uniformly at random, so a
+//     multi-way select is a nondeterministic merge. Restructure around one
+//     communication clause (plus an optional default); order-insensitive
+//     merges should carry a //lint:allow determinism comment saying why.
 type Determinism struct{}
 
 // Name implements Checker.
@@ -78,10 +90,95 @@ func (d Determinism) Run(pass *Pass) {
 			}
 			if body != nil {
 				d.checkRanges(pass, body)
+				d.checkConcurrency(pass, body)
 			}
 			return true
 		})
 	}
+}
+
+// checkConcurrency reports unaccounted goroutines and multi-way selects
+// directly inside body. Nested function literals are skipped — the walk in
+// Run visits them with their own enclosing body.
+func (d Determinism) checkConcurrency(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The spawned function literal is skipped by the FuncLit case on
+			// the way down; Run walks it with its own enclosing body.
+			d.checkGo(pass, body, n)
+		case *ast.SelectStmt:
+			if commClauseCount(n) > 1 {
+				pass.Reportf(n.Pos(),
+					"select with %d communication clauses chooses among ready cases at random; restructure around one communication (plus optional default), or annotate an order-insensitive merge with //lint:allow determinism", commClauseCount(n))
+			}
+		}
+		return true
+	})
+}
+
+// checkGo enforces fork-join structure on one go statement: a
+// sync.WaitGroup.Add call earlier in the same function, and a spawned
+// function literal that defers the matching Done.
+func (d Determinism) checkGo(pass *Pass, body *ast.BlockStmt, g *ast.GoStmt) {
+	if !d.hasWaitGroupAddBefore(pass, body, g.Pos()) {
+		pass.Reportf(g.Pos(),
+			"goroutine without a preceding sync.WaitGroup.Add in this function; fork-join account it (wg.Add before go, defer wg.Done inside) so the computation joins all workers before returning")
+		return
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok || !d.hasDeferredDone(pass, lit) {
+		pass.Reportf(g.Pos(),
+			"goroutine does not visibly defer sync.WaitGroup.Done; spawn a function literal whose first statement is defer wg.Done() so the join is auditable at the fork site")
+	}
+}
+
+// hasWaitGroupAddBefore reports whether a sync.WaitGroup.Add call occurs
+// before pos inside body.
+func (d Determinism) hasWaitGroupAddBefore(pass *Pass, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() < pos && d.isWaitGroupMethod(pass, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasDeferredDone reports whether lit's body (not counting nested function
+// literals) defers a sync.WaitGroup.Done call.
+func (d Determinism) hasDeferredDone(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ds, ok := n.(*ast.DeferStmt); ok && d.isWaitGroupMethod(pass, ds.Call, "Done") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (d Determinism) isWaitGroupMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn := pass.CalleeFunc(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+		fn.Name() == name && recvTypeName(fn) == "WaitGroup"
+}
+
+// commClauseCount counts a select's communication clauses (default excluded).
+func commClauseCount(s *ast.SelectStmt) int {
+	n := 0
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // checkRanges reports nondeterministic map ranges directly inside body.

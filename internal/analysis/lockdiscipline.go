@@ -9,7 +9,8 @@ import (
 // LockDiscipline flags blocking operations performed while a sync.Mutex or
 // sync.RWMutex is held in the same function body: channel sends and
 // receives, select statements without a default case, range over a channel,
-// time.Sleep, and sync.WaitGroup.Wait / sync.Cond.Wait. Blocking under a
+// time.Sleep, sync.WaitGroup.Wait / sync.Cond.Wait and sync.Once.Do (which
+// blocks every caller until the first call returns). Blocking under a
 // lock is how the serving data path deadlocks or convoys under load — the
 // repo's convention (see internal/serving/worker.go) is to copy state out,
 // unlock, then block.
@@ -269,6 +270,11 @@ func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
 		recv := recvTypeName(fn)
 		if fn.Name() == "Wait" && (recv == "WaitGroup" || recv == "Cond") {
 			return "sync." + recv + ".Wait", true
+		}
+		// Once.Do blocks every caller until the first call's fn returns, so
+		// it is an arbitrary-latency wait from the second caller's view.
+		if fn.Name() == "Do" && recv == "Once" {
+			return "sync.Once.Do", true
 		}
 	}
 	return "", false

@@ -6,6 +6,7 @@ package determinism
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -17,7 +18,7 @@ func wallClock() time.Duration {
 
 func timers(ch chan int) {
 	time.Sleep(time.Millisecond) // want determinism
-	select {
+	select {                     // want determinism
 	case <-time.After(time.Second): // want determinism
 	case <-ch:
 	}
@@ -78,6 +79,62 @@ func unsortedKeys(m map[string]int) []string {
 		keys = append(keys, k)
 	}
 	return keys
+}
+
+func forkJoinAccounted(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() { // ok: Add before go, deferred Done inside
+			defer wg.Done()
+			doWork()
+		}()
+	}
+	wg.Wait()
+}
+
+func unaccountedGoroutine() {
+	go doWork() // want determinism
+}
+
+func goWithoutDeferredDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want determinism
+		doWork()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func goNamedFuncAfterAdd(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go doWork() // want determinism
+}
+
+func singleCommSelect(ch chan int) int {
+	select { // ok: one communication clause plus default
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func multiWaySelect(a, b chan int) int {
+	select { // want determinism
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func multiWaySelectAllowed(a, b chan int) {
+	select { //lint:allow determinism both arms are idempotent shutdown signals
+	case <-a:
+	case <-b:
+	}
 }
 
 func doWork() {}

@@ -84,3 +84,10 @@ func (b *box) allowAnnotated() {
 	<-b.ch //lint:allow lockdiscipline suppression demo: handshake is bounded by construction
 	b.mu.Unlock()
 }
+
+func (b *box) onceUnderLock(once *sync.Once) {
+	b.mu.Lock()
+	once.Do(func() {}) // want lockdiscipline
+	b.mu.Unlock()
+	once.Do(func() {}) // ok: no lock held
+}

@@ -14,6 +14,8 @@ package batching
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -367,9 +369,14 @@ func ByName(name string) (Factory, error) {
 	case "aimd":
 		return func() Policy { return NewAIMD() }, nil
 	}
-	var n int
-	if _, err := fmt.Sscanf(name, "static-%d", &n); err == nil && n >= 1 {
-		return func() Policy { return NewStatic(n) }, nil
+	// Parse "static-N" strictly: Sscanf would accept trailing garbage
+	// ("static-5xyz" → 5), silently truncating typo'd configs.
+	if rest, ok := strings.CutPrefix(name, "static-"); ok {
+		n, err := strconv.Atoi(rest)
+		if err == nil && n >= 1 && rest == strconv.Itoa(n) {
+			return func() Policy { return NewStatic(n) }, nil
+		}
+		return nil, fmt.Errorf("batching: malformed static policy %q: want static-N with N a positive integer", name)
 	}
 	return nil, fmt.Errorf("batching: unknown policy %q", name)
 }

@@ -1,6 +1,7 @@
 package batching
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -350,6 +351,45 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("static-0"); err == nil {
 		t.Fatal("expected error for static-0")
+	}
+}
+
+// TestByNameStrictStatic is the regression test for the lenient-parsing
+// bug: fmt.Sscanf("static-5xyz", "static-%d", &n) succeeds, so a typo'd
+// config like "static-4,8" silently became static-4. Parsing is now strict:
+// exactly "static-N" with N a canonical positive integer.
+func TestByNameStrictStatic(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+		size int
+	}{
+		{"static-5", true, 5},
+		{"static-128", true, 128},
+		{"static-5xyz", false, 0},
+		{"static-4,8", false, 0},
+		{"static--1", false, 0},
+		{"static-", false, 0},
+		{"static-03", false, 0},
+		{"static-+3", false, 0},
+		{"static- 3", false, 0},
+	}
+	for _, tc := range cases {
+		f, err := ByName(tc.name)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", tc.name, err)
+				continue
+			}
+			want := fmt.Sprintf("static-%d", tc.size)
+			if got := f().Name(); got != want {
+				t.Errorf("%q: policy name %q, want %q", tc.name, got, want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%q: expected error, got policy %q", tc.name, f().Name())
+		}
 	}
 }
 

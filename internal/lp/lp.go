@@ -93,6 +93,26 @@ type row struct {
 // NewProblem returns an empty maximization problem.
 func NewProblem() *Problem { return &Problem{} }
 
+// Clone returns a deep copy of the problem: bounds, objective and
+// constraint rows share no memory with the original, so the copy can be
+// solved (and have its bounds mutated) concurrently with the original. The
+// MILP solver clones the root problem once per worker so each branch-and-
+// bound worker owns a private simplex instance. Cost is O(variables +
+// nonzeros), paid once per worker per Solve, not per node.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		names: append([]string(nil), p.names...),
+		lo:    append([]float64(nil), p.lo...),
+		hi:    append([]float64(nil), p.hi...),
+		obj:   append([]float64(nil), p.obj...),
+		rows:  make([]row, len(p.rows)),
+	}
+	for i, r := range p.rows {
+		q.rows[i] = row{terms: append([]Term(nil), r.terms...), rel: r.rel, rhs: r.rhs}
+	}
+	return q
+}
+
 // AddVariable adds a variable with bounds [lo, hi] and returns its column
 // index. lo must be finite; hi may be math.Inf(1). It panics on invalid
 // bounds, which indicate a programming error in the model builder.

@@ -12,6 +12,7 @@ package milp
 import (
 	"container/heap"
 	"math"
+	"runtime"
 	"time"
 
 	"proteus/internal/lp"
@@ -125,31 +126,45 @@ func (s *Solution) Gap() float64 {
 	return (s.Bound - s.Objective) / math.Max(1, math.Abs(s.Objective))
 }
 
-// Options tune the branch-and-bound search. The zero value uses defaults.
+// Options tune the branch-and-bound search. A nil *Options selects all
+// defaults. In a non-nil Options, RelGap and IntTol use negative-means-
+// default semantics so that an explicit zero — an exact optimality proof,
+// exact integrality — stays expressible; every other field treats its zero
+// value as "use the default".
 type Options struct {
 	// TimeLimit bounds wall-clock solve time. Default: none.
 	TimeLimit time.Duration
 	// MaxNodes bounds the number of explored nodes. Default 200_000.
 	MaxNodes int
 	// RelGap terminates when (bound - incumbent)/max(1,|incumbent|) is below
-	// it. Default 1e-6.
+	// it. Zero demands an exact optimality proof; a negative value selects
+	// the default 1e-6.
 	RelGap float64
 	// StallNodes, if positive, stops the search (returning the incumbent as
 	// Feasible) after that many nodes without incumbent improvement — a
 	// production knob for callers that value latency over proof.
 	StallNodes int
-	// IntTol is the integrality tolerance. Default 1e-6.
+	// IntTol is the integrality tolerance. Zero demands exact integrality;
+	// a negative value selects the default 1e-6.
 	IntTol float64
 	// WarmStart, if non-nil, is a feasible point used as the initial
 	// incumbent. It is trusted after a cheap feasibility spot check of
 	// integrality; callers construct it from a heuristic.
 	WarmStart []float64
+	// Parallelism is the number of concurrent LP-relaxation solvers used by
+	// the search. The returned Solution (Status, Objective, X, Bound, Nodes)
+	// is byte-identical for every value ≥ 1: extra workers only solve
+	// relaxations speculatively ahead of the deterministic search order, and
+	// results the serial order would not have requested are discarded. 1
+	// reproduces the fully serial solver; 0 (the default) uses
+	// runtime.GOMAXPROCS(0). See DESIGN.md "Parallel branch and bound".
+	Parallelism int
 	// LP configures the inner simplex solves.
 	LP *lp.Options
 }
 
 func (o *Options) withDefaults() Options {
-	out := Options{MaxNodes: 200_000, RelGap: 1e-6, IntTol: 1e-6}
+	out := Options{MaxNodes: 200_000, RelGap: 1e-6, IntTol: 1e-6, Parallelism: runtime.GOMAXPROCS(0)}
 	if o != nil {
 		out.TimeLimit = o.TimeLimit
 		out.WarmStart = o.WarmStart
@@ -158,14 +173,27 @@ func (o *Options) withDefaults() Options {
 		if o.MaxNodes > 0 {
 			out.MaxNodes = o.MaxNodes
 		}
-		if o.RelGap > 0 {
+		if o.RelGap >= 0 {
 			out.RelGap = o.RelGap
 		}
-		if o.IntTol > 0 {
+		if o.IntTol >= 0 {
 			out.IntTol = o.IntTol
+		}
+		if o.Parallelism > 0 {
+			out.Parallelism = o.Parallelism
 		}
 	}
 	return out
+}
+
+// EffectiveParallelism resolves a Parallelism setting the way Solve does:
+// values ≤ 0 mean runtime.GOMAXPROCS(0). Callers use it to report the
+// worker count a solve actually ran with.
+func EffectiveParallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // node is one branch-and-bound subproblem: bound overrides relative to the
@@ -221,6 +249,10 @@ func Solve(p *Problem, opts *Options) Solution {
 	s.open = &nodeHeap{}
 	heap.Init(s.open)
 	heap.Push(s.open, &node{bound: math.Inf(1)})
+	if o.Parallelism > 1 && p.NumIntegers() > 0 {
+		s.pool = newSpecPool(s, o.Parallelism)
+		defer s.pool.stop()
+	}
 	return s.run()
 }
 
@@ -243,6 +275,10 @@ type solver struct {
 	limited bool
 	// lastImprove is the node count at the last incumbent improvement.
 	lastImprove int
+	// pool, when non-nil, solves LP relaxations speculatively on worker-
+	// private problem clones (Options.Parallelism > 1). The search order and
+	// every decision stay those of the serial solver; see parallel.go.
+	pool *specPool
 }
 
 func (s *solver) restore() {
@@ -251,13 +287,59 @@ func (s *solver) restore() {
 	}
 }
 
-// solveNode solves the LP relaxation of nd.
+// solveNode solves the LP relaxation of nd inline on the shared problem.
 func (s *solver) solveNode(nd *node) (lp.Solution, error) {
 	s.restore()
 	for _, bc := range nd.bounds {
 		s.p.lp.SetBounds(bc.v, bc.lo, bc.hi)
 	}
 	return lp.Solve(s.p.lp, s.o.LP)
+}
+
+// relax returns nd's LP relaxation. With a worker pool it consumes a
+// speculatively solved result when one exists (solving inline otherwise)
+// and enqueues likely future nodes — the hints plus the best open nodes —
+// for the workers. Without a pool it is exactly the serial solveNode.
+func (s *solver) relax(nd *node, hints ...*node) (lp.Solution, error) {
+	if s.pool == nil {
+		return s.solveNode(nd)
+	}
+	return s.pool.solve(nd, hints)
+}
+
+// nodeBounds returns the effective bound interval of variable v at node nd:
+// the root interval overridden by the node's branching decisions (later
+// entries win, mirroring the order SetBounds applies them in solveNode).
+// Reading bounds through the node rather than the shared lp.Problem keeps
+// branching correct when a pooled (cached) relaxation skipped the shared-
+// problem bound mutation.
+func (s *solver) nodeBounds(nd *node, v int) (lo, hi float64) {
+	lo, hi = s.rootLo[v], s.rootHi[v]
+	for _, bc := range nd.bounds {
+		if bc.v == v {
+			lo, hi = bc.lo, bc.hi
+		}
+	}
+	return lo, hi
+}
+
+// noteBound tightens the reported global bound using a just-solved subtree
+// bound: the optimum cannot exceed the best of the open frontier (the heap
+// top), the subtree currently being processed, and the incumbent. Reporting
+// only — no search decision reads bestBound.
+func (s *solver) noteBound(subtree float64) {
+	b := subtree
+	if s.open.Len() > 0 {
+		if t := (*s.open)[0].bound; t > b {
+			b = t
+		}
+	}
+	if s.incumbent != nil && s.incumbentObj > b {
+		b = s.incumbentObj
+	}
+	if b < s.bestBound {
+		s.bestBound = b
+	}
 }
 
 func (s *solver) limitHit() bool {
@@ -320,18 +402,22 @@ func (s *solver) run() Solution {
 			return s.finish(Limit)
 		}
 		nd := heap.Pop(s.open).(*node)
-		// Best-first: the top of the heap carries the global bound.
-		s.bestBound = nd.bound
+		// Best-first: the top of the heap carries the global bound. (min:
+		// noteBound may already have proven a tighter bound than the stale
+		// parent bound this node was queued with.)
+		s.bestBound = math.Min(s.bestBound, nd.bound)
 		if s.gapClosed(nd.bound) {
 			return s.finish(Optimal)
 		}
 		s.nodes++
-		rel, err := s.solveNode(nd)
+		rel, err := s.relax(nd)
 		if err != nil {
 			return s.finish(Limit)
 		}
 		switch rel.Status {
 		case lp.Infeasible:
+			// Empty subtree: the frontier shrinks to the heap + incumbent.
+			s.noteBound(math.Inf(-1))
 			continue
 		case lp.Unbounded:
 			if nd.depth == 0 {
@@ -348,6 +434,9 @@ func (s *solver) run() Solution {
 			}
 			continue
 		}
+		// The subtree's bound tightened from the parent's bound to its own
+		// relaxation objective (valid for its still-unpushed children too).
+		s.noteBound(rel.Objective)
 		if s.incumbent != nil &&
 			rel.Objective <= s.incumbentObj+s.o.RelGap*math.Max(1, math.Abs(s.incumbentObj)) {
 			continue // pruned by bound
@@ -384,7 +473,7 @@ func (s *solver) run() Solution {
 // branch builds the two children of nd on variable v whose relaxation value
 // is val. A child whose bound interval would be empty is nil.
 func (s *solver) branch(nd *node, v int, val, bound float64) (down, up *node) {
-	lo, hi := s.p.lp.Bounds(v)
+	lo, hi := s.nodeBounds(nd, v)
 	floor := math.Floor(val + s.o.IntTol)
 	if floor >= lo-s.o.IntTol {
 		f := math.Min(floor, hi)
@@ -406,6 +495,9 @@ func (s *solver) dive(nd *node, rel lp.Solution) {
 	cur, curRel := nd, rel
 	maxDepth := 4*s.p.NumIntegers() + 16
 	for depth := 0; depth < maxDepth; depth++ {
+		// The dive path's subtree is bounded by its own relaxation; the rest
+		// of the frontier sits on the heap.
+		s.noteBound(curRel.Objective)
 		if s.limitHit() {
 			// cur's subtree is abandoned (its children were never pushed).
 			s.limited = true
@@ -448,7 +540,15 @@ func (s *solver) diveStep(first, second *node) (*node, lp.Solution, bool) {
 		}
 	}
 	s.nodes++
-	rel, err := s.solveNode(first)
+	var rel lp.Solution
+	var err error
+	if second != nil {
+		// The sibling is the likeliest next solve (taken on infeasibility,
+		// queued otherwise), so it makes a good speculation hint.
+		rel, err = s.relax(first, second)
+	} else {
+		rel, err = s.relax(first)
+	}
 	if err != nil || rel.Status == lp.IterLimit {
 		s.limited = true
 		if second != nil {
@@ -468,7 +568,7 @@ func (s *solver) diveStep(first, second *node) (*node, lp.Solution, bool) {
 		return nil, lp.Solution{}, false
 	}
 	s.nodes++
-	rel, err = s.solveNode(second)
+	rel, err = s.relax(second)
 	if err != nil || rel.Status == lp.IterLimit {
 		s.limited = true
 		return nil, lp.Solution{}, false

@@ -233,6 +233,68 @@ func TestNodeLimitReturnsFeasible(t *testing.T) {
 	}
 }
 
+// TestFiniteBoundUnderNodeLimit is the regression test for the bound-
+// reporting bug: with MaxNodes: 1 the root relaxation is solved to a finite
+// objective, yet the solver used to report Bound = +Inf (and Gap() = +Inf)
+// because the global bound was only tightened from popped parents. The
+// solved relaxation objective itself proves a bound on the whole tree.
+func TestFiniteBoundUnderNodeLimit(t *testing.T) {
+	p := NewProblem()
+	x := p.AddInteger("x", 0, 100)
+	p.SetObjective(x, 1)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}}, lp.LE, 7)
+
+	sol := Solve(p, &Options{MaxNodes: 1})
+	if math.IsInf(sol.Bound, 1) {
+		t.Fatalf("Bound = +Inf after solving the root relaxation; want ≤ 3.5")
+	}
+	if sol.Bound < 3 || sol.Bound > 3.5+1e-9 {
+		t.Fatalf("Bound = %v, want the root relaxation value 3.5", sol.Bound)
+	}
+
+	sol = Solve(p, &Options{MaxNodes: 1, WarmStart: []float64{1}})
+	if sol.Status != Feasible {
+		t.Fatalf("status %v, want feasible", sol.Status)
+	}
+	if g := sol.Gap(); math.IsInf(g, 1) || g <= 0 {
+		t.Fatalf("Gap() = %v under MaxNodes: 1, want finite and positive", g)
+	}
+}
+
+// TestRelGapZeroProvesExactOptimality is the regression test for the
+// options bug: RelGap: 0 used to be treated as "unset" and silently became
+// 1e-6, making an exact optimality proof unexpressible. Explicit zeros now
+// pass through (negative selects the default).
+func TestRelGapZeroProvesExactOptimality(t *testing.T) {
+	if got := (&Options{RelGap: 0, IntTol: 0}).withDefaults(); got.RelGap != 0 || got.IntTol != 0 {
+		t.Fatalf("explicit zeros rewritten to RelGap=%v IntTol=%v", got.RelGap, got.IntTol)
+	}
+	if got := (&Options{RelGap: -1, IntTol: -1}).withDefaults(); got.RelGap != 1e-6 || got.IntTol != 1e-6 {
+		t.Fatalf("negative-means-default broken: RelGap=%v IntTol=%v", got.RelGap, got.IntTol)
+	}
+
+	p := NewProblem()
+	var terms []lp.Term
+	vals := []float64{9, 7, 6, 5, 3}
+	wts := []float64{4, 3, 3, 2, 2}
+	for i := range vals {
+		v := p.AddBinary("x")
+		p.SetObjective(v, vals[i])
+		terms = append(terms, lp.Term{Var: v, Coef: wts[i]})
+	}
+	p.AddConstraint(terms, lp.LE, 7)
+	sol := Solve(p, &Options{RelGap: 0})
+	if sol.Status != Optimal {
+		t.Fatalf("status %v, want optimal", sol.Status)
+	}
+	if sol.Bound != sol.Objective { //lint:allow floateq exactness is the property under test
+		t.Fatalf("Bound %v != Objective %v: gap not closed exactly", sol.Bound, sol.Objective)
+	}
+	if g := sol.Gap(); g != 0 { //lint:allow floateq exactness is the property under test
+		t.Fatalf("Gap() = %v, want exactly 0", g)
+	}
+}
+
 func TestTimeLimit(t *testing.T) {
 	// Pseudo-polynomial hard-ish instance; with a tiny time limit the solver
 	// must return promptly with Limit or Feasible rather than hang.

@@ -1,0 +1,260 @@
+// Speculative parallel LP relaxation solving for the branch-and-bound
+// search (Options.Parallelism > 1).
+//
+// Determinism argument. The branch-and-bound driver in milp.go is a
+// deterministic state machine: every decision — which node to pop, where to
+// branch, when to dive, when an incumbent improves — is a pure function of
+// LP relaxation results, and lp.Solve is itself deterministic for a given
+// problem. Parallelism therefore never touches the search: the driver runs
+// the exact serial order, and workers only solve relaxations *ahead* of it,
+// each on a private lp.Problem.Clone. A worker's result is bit-identical to
+// the inline solve it replaces (same root bounds, same override sequence,
+// same float operations), so consuming a speculative result is
+// observationally equivalent to solving inline; results the serial order
+// never asks for are discarded unread. Hence the Solution (Status,
+// Objective, X, Bound, Nodes) is byte-identical for every Parallelism ≥ 1
+// and identical to the serial solver — goroutine interleaving can only move
+// wall-clock time, never a decision. See DESIGN.md "Parallel branch and
+// bound".
+package milp
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"proteus/internal/lp"
+)
+
+// Entry lifecycle: created queued, claimed exactly once (by the worker that
+// receives it or by the driver when it needs the node first), then filled
+// and published through the ready channel.
+const (
+	specQueued int32 = iota
+	specClaimed
+)
+
+// specEntry is one speculative (or on-demand) LP relaxation solve.
+type specEntry struct {
+	key string
+	nd  *node // immutable after creation; shared with the driver's heap
+
+	state atomic.Int32
+	ready chan struct{} // closed by the claimant after sol/err are written
+	sol   lp.Solution
+	err   error
+}
+
+func newSpecEntry(key string, nd *node) *specEntry {
+	return &specEntry{key: key, nd: nd, ready: make(chan struct{})}
+}
+
+// specPool runs Parallelism-1 worker goroutines, each owning a private
+// clone of the root problem. The driver is the only goroutine that touches
+// the cache and fifo; workers communicate exclusively through the jobs
+// channel and per-entry ready channels, so the pool needs no mutex.
+type specPool struct {
+	s       *solver
+	workers int
+
+	jobs     chan *specEntry
+	stopping atomic.Bool
+	wg       sync.WaitGroup
+
+	// cache and fifo are driver-private: entries awaiting consumption,
+	// keyed by the node's effective bound overrides, evicted FIFO past
+	// maxCached (eviction costs at most a redundant re-solve, never a
+	// different answer).
+	cache     map[string]*specEntry
+	fifo      []*specEntry
+	maxCached int
+
+	// hits counts relaxations a worker had already claimed when the driver
+	// asked (driver-only; the overlap that buys wall-clock time on
+	// multicore). misses counts inline solves.
+	hits, misses int
+}
+
+func newSpecPool(s *solver, parallelism int) *specPool {
+	workers := parallelism - 1 // the driver itself solves misses inline
+	pl := &specPool{
+		s:         s,
+		workers:   workers,
+		jobs:      make(chan *specEntry, workers+1),
+		cache:     make(map[string]*specEntry),
+		maxCached: 16*workers + 32,
+	}
+	for w := 0; w < workers; w++ {
+		clone := s.p.lp.Clone()
+		pl.wg.Add(1)
+		go func() {
+			defer pl.wg.Done()
+			pl.worker(clone)
+		}()
+	}
+	return pl
+}
+
+// specStats, when non-nil, receives each pool's final hit/miss counts as
+// it stops. Test-only observability hook; never set in production code.
+var specStats func(hits, misses int)
+
+// stop drains the queue without solving and joins the workers. At most one
+// in-flight relaxation per worker delays the join.
+func (pl *specPool) stop() {
+	pl.stopping.Store(true)
+	close(pl.jobs)
+	pl.wg.Wait()
+	if specStats != nil {
+		specStats(pl.hits, pl.misses)
+	}
+}
+
+func (pl *specPool) worker(clone *lp.Problem) {
+	for e := range pl.jobs {
+		if pl.stopping.Load() {
+			continue // drain: the solve's result could never be consumed
+		}
+		if !e.state.CompareAndSwap(specQueued, specClaimed) {
+			continue // the driver needed it first and solved inline
+		}
+		e.sol, e.err = pl.solveOn(clone, e.nd)
+		close(e.ready)
+	}
+}
+
+// solveOn solves nd's relaxation on a worker-private clone: reset to the
+// root bounds, replay the node's overrides in order (exactly the sequence
+// solveNode applies to the shared problem), solve.
+func (pl *specPool) solveOn(clone *lp.Problem, nd *node) (lp.Solution, error) {
+	for v := range pl.s.rootLo {
+		clone.SetBounds(v, pl.s.rootLo[v], pl.s.rootHi[v])
+	}
+	for _, bc := range nd.bounds {
+		clone.SetBounds(bc.v, bc.lo, bc.hi)
+	}
+	return lp.Solve(clone, pl.s.o.LP)
+}
+
+// solve returns nd's relaxation, consuming a speculative result when one
+// exists. Misses are solved inline by the driver on the shared problem —
+// the driver never queues behind speculation. Either way the speculative
+// queue is topped up first (hints, then the best open nodes) so workers
+// overlap with the inline solve or the wait.
+func (pl *specPool) solve(nd *node, hints []*node) (lp.Solution, error) {
+	key := nodeKey(nd)
+	e, cached := pl.cache[key]
+	if !cached {
+		e = newSpecEntry(key, nd)
+	}
+	claimed := e.state.CompareAndSwap(specQueued, specClaimed)
+	pl.speculate(hints, key)
+	if claimed {
+		pl.misses++
+		e.sol, e.err = pl.s.solveNode(nd)
+		close(e.ready)
+	} else {
+		pl.hits++
+		<-e.ready
+	}
+	if cached {
+		delete(pl.cache, key)
+	}
+	return e.sol, e.err
+}
+
+// speculate enqueues not-yet-cached candidate nodes — the caller's hints
+// first (a dive's sibling), then the prefix of the open heap's backing
+// array, which holds the best-bound nodes the serial order pops next. Which
+// candidates get queued affects only wall-clock time (unconsumed results
+// are discarded), so the selection needs to be plausible, not perfect.
+func (pl *specPool) speculate(hints []*node, exclude string) {
+	for _, nd := range hints {
+		if nd == nil {
+			continue
+		}
+		if !pl.consider(nd, exclude) {
+			return
+		}
+	}
+	open := *pl.s.open
+	limit := pl.workers
+	if limit > len(open) {
+		limit = len(open)
+	}
+	for i := 0; i < limit; i++ {
+		if !pl.consider(open[i], exclude) {
+			return
+		}
+	}
+}
+
+// consider enqueues one candidate; false means the queue is full and the
+// caller should stop.
+func (pl *specPool) consider(nd *node, exclude string) bool {
+	key := nodeKey(nd)
+	if key == exclude {
+		return true
+	}
+	if _, ok := pl.cache[key]; ok {
+		return true
+	}
+	if len(pl.cache) >= pl.maxCached && !pl.evictOne() {
+		return false
+	}
+	e := newSpecEntry(key, nd)
+	select {
+	case pl.jobs <- e:
+		pl.cache[key] = e
+		pl.fifo = append(pl.fifo, e)
+		return true
+	default:
+		return false
+	}
+}
+
+// evictOne drops the oldest still-cached entry. An evicted entry that a
+// worker later solves (or is mid-solving) is simply never read.
+func (pl *specPool) evictOne() bool {
+	for len(pl.fifo) > 0 {
+		e := pl.fifo[0]
+		pl.fifo = pl.fifo[1:]
+		if cur, ok := pl.cache[e.key]; ok && cur == e {
+			delete(pl.cache, e.key)
+			return true
+		}
+	}
+	return false
+}
+
+// nodeKey canonicalizes a node's effective bound overrides — last change
+// per variable wins, ordered by variable index, floats encoded by their
+// exact bit patterns — so nodes reaching the same box through different
+// branching paths share one cache slot.
+func nodeKey(nd *node) string {
+	if len(nd.bounds) == 0 {
+		return ""
+	}
+	eff := make([]boundChange, 0, len(nd.bounds))
+	seen := make(map[int]bool, len(nd.bounds))
+	for i := len(nd.bounds) - 1; i >= 0; i-- {
+		bc := nd.bounds[i]
+		if seen[bc.v] {
+			continue
+		}
+		seen[bc.v] = true
+		eff = append(eff, bc)
+	}
+	sort.Slice(eff, func(i, j int) bool { return eff[i].v < eff[j].v })
+	buf := make([]byte, 0, 20*len(eff))
+	var tmp [20]byte
+	for _, bc := range eff {
+		binary.LittleEndian.PutUint32(tmp[0:4], uint32(bc.v))
+		binary.LittleEndian.PutUint64(tmp[4:12], math.Float64bits(bc.lo))
+		binary.LittleEndian.PutUint64(tmp[12:20], math.Float64bits(bc.hi))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
