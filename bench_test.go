@@ -457,6 +457,34 @@ func BenchmarkDesignAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkOverloadRobustness runs the overload experiment (no-guard vs
+// shed-only vs degrade+shed on the stale-plan adversarial trace) and reports
+// the headline robustness quantities.
+func BenchmarkOverloadRobustness(b *testing.B) {
+	o := benchOptions()
+	o.TraceSeconds = 90
+	for i := 0; i < b.N; i++ {
+		reports, err := proteus.OverloadRobustness(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rep := range reports {
+			if rep.Trace != "adversarial" {
+				continue
+			}
+			for _, run := range rep.Runs {
+				switch run.Guard {
+				case "no-guard":
+					b.ReportMetric(run.Result.Summary.ViolationRatio, "no-guard-violations")
+				case "degrade+shed":
+					b.ReportMetric(run.Result.Summary.ViolationRatio, "degrade-shed-violations")
+					b.ReportMetric(run.Goodput, "degrade-shed-goodput")
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkFormulationComparison contrasts the exact aggregated MILP with
 // the per-device formulation on an identical instance.
 func BenchmarkFormulationComparison(b *testing.B) {

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: all, fig1a, fig1b, table2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, design, formulations")
+		experiment = flag.String("experiment", "all", "which experiment to run: all, fig1a, fig1b, table2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, design, formulations, overload")
 		seconds    = flag.Int("seconds", 300, "end-to-end trace length in seconds")
 		clusterSz  = flag.Int("cluster", 20, "cluster size (2:1:1 CPU:1080Ti:V100)")
 		seed       = flag.Uint64("seed", 0, "random seed (0 = default)")
@@ -163,6 +163,17 @@ func main() {
 		}
 		if err := proteus.RenderDesignAblations(os.Stdout, rows); err != nil {
 			fail("design", err)
+		}
+	}
+	if want("overload") {
+		ran = true
+		section("Overload robustness: no-guard vs shed-only vs degrade+shed (bursty + adversarial)")
+		reports, err := proteus.OverloadRobustness(opts)
+		if err != nil {
+			fail("overload", err)
+		}
+		if err := proteus.RenderOverload(os.Stdout, reports); err != nil {
+			fail("overload", err)
 		}
 	}
 	if want("formulations") {

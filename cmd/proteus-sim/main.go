@@ -30,6 +30,17 @@
 //
 //	"slo": {"target": 0.01, "burn_rate": 2, "short_window_s": 5,
 //	        "long_window_s": 60, "sample_interval_s": 1, "realloc": false}
+//
+// The optional "overload" block enables the fast-path overload guard
+// (deadline admission control, mailbox backpressure, burn-triggered
+// emergency accuracy degradation between control periods):
+//
+//	"overload": {"enabled": true, "high_water": 64, "low_water": 32,
+//	             "restore_hold_s": 5, "escalate_after_s": 10,
+//	             "redegrade_cooldown_s": 10}
+//
+// and "max_retries" sets the per-query re-route budget after a device
+// failure (default 1; an explicit 0 drops stranded queries immediately).
 package main
 
 import (
@@ -67,6 +78,45 @@ type config struct {
 	// take the recorder's defaults (1% budget, 2x burn over 5s/60s windows,
 	// 1s sampling).
 	SLO *sloConfig `json:"slo"`
+	// Overload enables the fast-path overload guard. The degradation path
+	// needs the burn monitor, so pair it with -tsdb/-report or an "slo"
+	// block when degradation matters.
+	Overload *overloadConfig `json:"overload"`
+	// MaxRetries is the per-query re-route budget after a device failure.
+	// Absent means the default (1); an explicit 0 drops stranded queries
+	// immediately.
+	MaxRetries *int `json:"max_retries"`
+}
+
+type overloadConfig struct {
+	Enabled             bool    `json:"enabled"`
+	DisableAdmission    bool    `json:"disable_admission"`
+	DisableBackpressure bool    `json:"disable_backpressure"`
+	DisableDegradation  bool    `json:"disable_degradation"`
+	HighWater           int     `json:"high_water"`
+	LowWater            int     `json:"low_water"`
+	RestoreHoldS        float64 `json:"restore_hold_s"`
+	EscalateAfterS      float64 `json:"escalate_after_s"`
+	RedegradeCooldownS  float64 `json:"redegrade_cooldown_s"`
+}
+
+// buildOverload maps the JSON block onto the guard configuration.
+func buildOverload(oc *overloadConfig) *proteus.OverloadConfig {
+	if oc == nil {
+		return nil
+	}
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	return &proteus.OverloadConfig{
+		Enabled:             oc.Enabled,
+		DisableAdmission:    oc.DisableAdmission,
+		DisableBackpressure: oc.DisableBackpressure,
+		DisableDegradation:  oc.DisableDegradation,
+		HighWater:           oc.HighWater,
+		LowWater:            oc.LowWater,
+		RestoreHold:         sec(oc.RestoreHoldS),
+		EscalateAfter:       sec(oc.EscalateAfterS),
+		RedegradeCooldown:   sec(oc.RedegradeCooldownS),
+	}
 }
 
 type sloConfig struct {
@@ -105,12 +155,16 @@ type faultEventConfig struct {
 }
 
 type traceConfig struct {
-	Kind    string  `json:"kind"` // twitter, bursty, csv
+	Kind    string  `json:"kind"` // twitter, bursty, adversarial, csv
 	Seconds int     `json:"seconds"`
 	BaseQPS float64 `json:"base_qps"`
 	PeakQPS float64 `json:"peak_qps"`
 	Path    string  `json:"path"`
 	Seed    uint64  `json:"seed"`
+	// Adversarial-kind knobs: spike height (peak_qps is the fallback),
+	// spike length and spacing in seconds.
+	SpikeSeconds  int `json:"spike_seconds"`
+	PeriodSeconds int `json:"period_seconds"`
 }
 
 // buildCluster resolves the fleet: an explicit device list (validated) when
@@ -232,7 +286,10 @@ func main() {
 	}
 	var recorder *proteus.TSDBRecorder
 	burnRealloc := false
-	if *tsdbOut != "" || *reportOut != "" {
+	// The guard's degradation path is triggered by the burn monitor, so an
+	// enabled overload block forces a recorder even without -tsdb/-report.
+	needRecorder := cfg.Overload != nil && cfg.Overload.Enabled && !cfg.Overload.DisableDegradation
+	if *tsdbOut != "" || *reportOut != "" || needRecorder {
 		var tc proteus.TSDBConfig
 		if s := cfg.SLO; s != nil {
 			sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
@@ -247,6 +304,12 @@ func main() {
 		}
 		recorder = proteus.NewTSDBRecorder(tc)
 	}
+	maxRetries := 0 // zero takes the system default (1)
+	if cfg.MaxRetries != nil {
+		if maxRetries = *cfg.MaxRetries; maxRetries <= 0 {
+			maxRetries = -1 // explicit zero budget
+		}
+	}
 	sys, err := proteus.NewSystem(proteus.SystemConfig{
 		Cluster:        cl,
 		Families:       fams,
@@ -259,6 +322,8 @@ func main() {
 		Telemetry:      registry,
 		TSDB:           recorder,
 		SLOBurnRealloc: burnRealloc,
+		Overload:       buildOverload(cfg.Overload),
+		MaxRetries:     maxRetries,
 	})
 	if err != nil {
 		fatal(err)
@@ -385,6 +450,11 @@ func buildTrace(tc traceConfig) (*proteus.Trace, error) {
 	case "bursty":
 		return proteus.NewBurstyTrace(proteus.BurstyTraceConfig{
 			Seconds: tc.Seconds, LowQPS: tc.BaseQPS, HighQPS: tc.PeakQPS,
+		}), nil
+	case "adversarial":
+		return proteus.NewAdversarialTrace(proteus.AdversarialTraceConfig{
+			Seconds: tc.Seconds, BaseQPS: tc.BaseQPS, SpikeQPS: tc.PeakQPS,
+			SpikeSeconds: tc.SpikeSeconds, PeriodSeconds: tc.PeriodSeconds,
 		}), nil
 	case "csv":
 		f, err := os.Open(tc.Path)

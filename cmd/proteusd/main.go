@@ -14,17 +14,27 @@
 // With -drive it also generates client load against itself for the given
 // duration and prints the resulting summary, exercising the full data path
 // end to end.
+//
+// SIGINT/SIGTERM trigger a graceful drain: the server stops admitting,
+// in-flight batches finish (bounded by -drain-timeout), final outputs are
+// written (-metrics-out, -tsdb-out), and the process exits 0. -overload
+// enables the fast-path overload guard; /healthz then reports per-device
+// saturation and any active emergency-degradation episode.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"proteus"
@@ -33,16 +43,21 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		clusterSz = flag.Int("cluster", 8, "cluster size (2:1:1 CPU:1080Ti:V100)")
-		devices   = flag.String("devices", "", `explicit fleet as "type:count" pairs, e.g. "cpu:4,v100:2" (overrides -cluster)`)
-		allocName = flag.String("allocation", "ilp", "resource allocator (ilp, infaas_v2, sommelier, clipper-ht, clipper-ha)")
-		batchName = flag.String("batching", "accscale", "batching policy (accscale, nexus, aimd, static-N)")
-		period    = flag.Duration("period", 10*time.Second, "re-allocation period")
-		drive     = flag.Duration("drive", 0, "self-drive duration (0 = serve forever)")
-		driveQPS  = flag.Float64("drive-qps", 100, "total QPS during self-drive")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		solverPar = flag.Int("solver-parallelism", 0, "concurrent LP solvers per allocation MILP solve; plans are identical for any value ≥ 1 (1 = serial, 0 = all cores)")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		clusterSz  = flag.Int("cluster", 8, "cluster size (2:1:1 CPU:1080Ti:V100)")
+		devices    = flag.String("devices", "", `explicit fleet as "type:count" pairs, e.g. "cpu:4,v100:2" (overrides -cluster)`)
+		allocName  = flag.String("allocation", "ilp", "resource allocator (ilp, infaas_v2, sommelier, clipper-ht, clipper-ha)")
+		batchName  = flag.String("batching", "accscale", "batching policy (accscale, nexus, aimd, static-N)")
+		period     = flag.Duration("period", 10*time.Second, "re-allocation period")
+		drive      = flag.Duration("drive", 0, "self-drive duration (0 = serve forever)")
+		driveQPS   = flag.Float64("drive-qps", 100, "total QPS during self-drive")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		solverPar  = flag.Int("solver-parallelism", 0, "concurrent LP solvers per allocation MILP solve; plans are identical for any value ≥ 1 (1 = serial, 0 = all cores)")
+		drainTO    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown bound: how long SIGINT/SIGTERM waits for in-flight queries")
+		maxRetries = flag.Int("max-retries", 1, "per-query re-route budget after a device failure (0 drops stranded queries immediately)")
+		overloadOn = flag.Bool("overload", false, "enable the overload guard: deadline admission control, backpressure, emergency accuracy degradation")
+		metricsOut = flag.String("metrics-out", "", "write the final counter snapshot here on shutdown")
+		tsdbOut    = flag.String("tsdb-out", "", "write the final run dump JSON here on shutdown")
 	)
 	flag.Parse()
 
@@ -69,6 +84,21 @@ func main() {
 	for q := range initial {
 		initial[q] = *driveQPS * z.P(q)
 	}
+	registry := proteus.NewTelemetryRegistry()
+	var recorder *proteus.TSDBRecorder
+	if *tsdbOut != "" || *overloadOn {
+		// The guard's degradation path is triggered by the burn monitor, so
+		// -overload needs a recorder even when no dump was requested.
+		recorder = proteus.NewTSDBRecorder(proteus.TSDBConfig{})
+	}
+	var guard *proteus.OverloadConfig
+	if *overloadOn {
+		guard = &proteus.OverloadConfig{Enabled: true}
+	}
+	mr := *maxRetries
+	if mr <= 0 {
+		mr = -1 // explicit zero budget (0 means "default" inside the config)
+	}
 	srv, err := proteus.NewLiveServer(proteus.LiveConfig{
 		Cluster:       cl,
 		Families:      fams,
@@ -76,6 +106,10 @@ func main() {
 		Batching:      batch,
 		ControlPeriod: *period,
 		InitialDemand: initial,
+		Telemetry:     registry,
+		TSDB:          recorder,
+		Overload:      guard,
+		MaxRetries:    mr,
 		Seed:          *seed,
 	})
 	if err != nil {
@@ -90,13 +124,73 @@ func main() {
 		fmt.Println(s)
 		fmt.Println("per-device allocation:")
 		printAllocation(srv)
+		srv.Drain(*drainTO)
+		writeFinal(srv, registry, recorder, cl, *metricsOut, *tsdbOut, *seed)
 		return
 	}
 
 	fmt.Printf("proteusd: serving %d families on %d devices at %s (allocation=%s batching=%s)\n",
 		len(fams), cl.Size(), *addr, *allocName, *batchName)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fatal(err)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-httpErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case got := <-sig:
+		fmt.Printf("proteusd: received %s, draining (%d in flight, timeout %v)\n",
+			got, srv.Inflight(), *drainTO)
+		if srv.Drain(*drainTO) {
+			fmt.Println("proteusd: drained cleanly")
+		} else {
+			fmt.Printf("proteusd: drain timeout hit with %d queries still in flight\n", srv.Inflight())
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		writeFinal(srv, registry, recorder, cl, *metricsOut, *tsdbOut, *seed)
+	}
+}
+
+// writeFinal dumps the run's observability outputs at shutdown: the counter
+// snapshot and the full run dump (windowed metrics, device time-series, SLO
+// burn log, decision audit).
+func writeFinal(srv *proteus.LiveServer, registry *proteus.TelemetryRegistry, recorder *proteus.TSDBRecorder, cl *proteus.Cluster, metricsOut, tsdbOut string, seed uint64) {
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := registry.WriteText(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsOut)
+	}
+	if tsdbOut != "" && recorder != nil {
+		var devNames []string
+		for _, d := range cl.Devices() {
+			devNames = append(devNames, d.Name)
+		}
+		dump := proteus.BuildRunDump(proteus.RunDumpInput{
+			Label:       "proteusd",
+			Seed:        seed,
+			Collector:   srv.Collector(),
+			Recorder:    recorder,
+			Plans:       srv.History(),
+			DeviceNames: devNames,
+		})
+		if err := dump.WriteFile(tsdbOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d samples, %d burn transitions)\n", tsdbOut, len(dump.Samples), len(dump.Burns))
 	}
 }
 

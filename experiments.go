@@ -33,6 +33,10 @@ type (
 	AggregationComparison = experiments.AggregationComparison
 	// FaultReport summarizes the graceful-degradation experiment.
 	FaultReport = experiments.FaultReport
+	// OverloadReport compares overload-guard configurations on one trace.
+	OverloadReport = experiments.OverloadReport
+	// OverloadRun is one (trace, guard) cell of the overload experiment.
+	OverloadRun = experiments.OverloadRun
 )
 
 // Fig1a reproduces Figure 1a (EfficientNet accuracy-throughput trade-off).
@@ -89,6 +93,12 @@ func FaultTolerance(o ExperimentOptions) (FaultReport, error) {
 	return experiments.FaultTolerance(o)
 }
 
+// OverloadRobustness compares no-guard, shed-only and degrade+shed overload
+// configurations on the macro-burst and adversarial stale-plan traces.
+func OverloadRobustness(o ExperimentOptions) ([]OverloadReport, error) {
+	return experiments.OverloadRobustness(o)
+}
+
 // Render helpers writing experiment results as aligned text tables.
 var (
 	RenderFig1a     = experiments.RenderFig1a
@@ -100,6 +110,7 @@ var (
 	RenderTable2    = experiments.RenderTable2
 	RenderSeriesCSV = experiments.RenderSeriesCSV
 	RenderFaults    = experiments.RenderFaults
+	RenderOverload  = experiments.RenderOverload
 )
 
 // RenderFig9 writes the per-family breakdown table.

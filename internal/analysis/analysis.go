@@ -151,6 +151,7 @@ var DeterministicPackages = []string{
 	"internal/allocator",
 	"internal/lp",
 	"internal/milp",
+	"internal/overload",
 	"internal/simulation",
 	"internal/tsdb",
 }

@@ -92,6 +92,18 @@ type SLOBurnRecord struct {
 	LongBurn  float64       `json:"long_burn"`
 }
 
+// OverloadRecord is one overload-guard transition (emergency accuracy
+// degradation opened, escalated, or restored) observed between control
+// periods. Kind is "degrade", "escalate" or "restore"; Level is the
+// degradation level after the transition (0 = planned routing restored).
+type OverloadRecord struct {
+	At     time.Duration `json:"at_ns"`
+	Family int           `json:"family"`
+	Kind   string        `json:"kind"`
+	Level  int           `json:"level"`
+	Reason string        `json:"reason"`
+}
+
 // PlanRecord is one entry of the controller's decision audit log: what was
 // decided, why (trigger), by which stage of the solver chain, at what
 // solver cost, and how the fleet changed relative to the previous plan.
@@ -131,6 +143,9 @@ type PlanRecord struct {
 	// since the previous audit record, so each control decision carries the
 	// burn context it was made under.
 	SLOBurns []SLOBurnRecord `json:"slo_burns,omitempty"`
+	// Overloads lists the overload-guard transitions (emergency accuracy
+	// degradations and restores) since the previous audit record.
+	Overloads []OverloadRecord `json:"overloads,omitempty"`
 }
 
 // Controller owns the allocator and the re-allocation schedule.
@@ -163,8 +178,10 @@ type Controller struct {
 	mu      sync.Mutex
 	history []PlanRecord
 	// pendingBurns buffers burn transitions until the next audit record
-	// drains them into its SLOBurns field.
-	pendingBurns []SLOBurnRecord
+	// drains them into its SLOBurns field; pendingOverloads does the same
+	// for overload-guard transitions.
+	pendingBurns     []SLOBurnRecord
+	pendingOverloads []OverloadRecord
 
 	counters telemetry.ControlCounters
 }
@@ -346,6 +363,10 @@ func (c *Controller) append(rec PlanRecord) {
 		rec.SLOBurns = c.pendingBurns
 		c.pendingBurns = nil
 	}
+	if len(c.pendingOverloads) > 0 {
+		rec.Overloads = c.pendingOverloads
+		c.pendingOverloads = nil
+	}
 	c.history = append(c.history, rec)
 	c.mu.Unlock()
 }
@@ -355,6 +376,14 @@ func (c *Controller) append(rec PlanRecord) {
 func (c *Controller) NoteBurn(rec SLOBurnRecord) {
 	c.mu.Lock()
 	c.pendingBurns = append(c.pendingBurns, rec)
+	c.mu.Unlock()
+}
+
+// NoteOverload records an overload-guard transition for the next audit
+// record. Safe to call concurrently with Reallocate and History.
+func (c *Controller) NoteOverload(rec OverloadRecord) {
+	c.mu.Lock()
+	c.pendingOverloads = append(c.pendingOverloads, rec)
 	c.mu.Unlock()
 }
 

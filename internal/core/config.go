@@ -14,6 +14,7 @@ import (
 	"proteus/internal/batching"
 	"proteus/internal/cluster"
 	"proteus/internal/models"
+	"proteus/internal/overload"
 	"proteus/internal/profiles"
 	"proteus/internal/telemetry"
 	"proteus/internal/tsdb"
@@ -86,6 +87,16 @@ type Config struct {
 	// (subject to the burst cooldown). Off by default: the monitor then only
 	// observes and reports.
 	SLOBurnRealloc bool
+	// Overload, when non-nil and enabled, activates the fast-path overload
+	// guard: deadline admission control, high/low-water mailbox
+	// backpressure, and burn-triggered emergency accuracy degradation
+	// between control periods. Requires TSDB for the degradation path (the
+	// burn monitor is its trigger).
+	Overload *overload.Config
+	// MaxRetries is the per-query re-route budget after a device failure
+	// strands it (0 drops stranded queries immediately, negative values are
+	// treated as 0). Default 1, the paper artifact's single re-dispatch.
+	MaxRetries int
 	// Seed drives all simulator randomness (routing, arrival expansion).
 	Seed uint64
 }
@@ -136,6 +147,11 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Elastic != nil {
 		c.Elastic = c.Elastic.withDefaults()
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 1
 	}
 	if err := c.Faults.Validate(c.Cluster.Size()); err != nil {
 		return c, err

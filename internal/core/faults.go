@@ -58,13 +58,13 @@ func (s *System) recoverDevice(d int) {
 }
 
 // requeue returns a stranded query to the router: dropped if it already
-// burned its retry or cannot meet its deadline, re-dispatched (once) to a
-// surviving replica otherwise.
+// burned its re-route budget (Config.MaxRetries) or cannot meet its
+// deadline, re-dispatched to a surviving replica otherwise.
 func (s *System) requeue(now time.Duration, q query) {
 	s.collector.Requeued(now, q.family)
 	s.tc.Requeued.Inc()
 	s.tracer.Record(now, telemetry.EvRequeued, q.id, q.family, -1, -1)
-	if q.retries >= 1 || q.deadline <= now {
+	if q.retries >= s.cfg.MaxRetries || q.deadline <= now {
 		s.dropQuery(now, q)
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"proteus/internal/metrics"
 	"proteus/internal/models"
 	"proteus/internal/numeric"
+	"proteus/internal/overload"
 	"proteus/internal/profiles"
 	"proteus/internal/router"
 	"proteus/internal/simulation"
@@ -27,6 +28,7 @@ type System struct {
 	slos    []time.Duration
 
 	table        *router.Table
+	guard        *overload.Guard
 	plan         *allocator.Allocation
 	stats        *controlplane.Stats
 	controller   *controlplane.Controller
@@ -93,6 +95,10 @@ func NewSystem(cfg Config) (*System, error) {
 	s.controller.Instrument(cfg.Telemetry)
 	s.recorder = cfg.TSDB
 	s.recorder.Init(len(cfg.Families), s.onBurn)
+	if cfg.Overload != nil {
+		s.guard = overload.New(*cfg.Overload, len(cfg.Families), cfg.Cluster.Size())
+		s.guard.Instrument(cfg.Telemetry)
+	}
 	s.tc.DevicesUp.Set(int64(cfg.Cluster.Size()))
 	for _, dev := range cfg.Cluster.Devices() {
 		s.workers = append(s.workers, &worker{sys: s, dev: dev, policy: cfg.Batching()})
@@ -195,6 +201,16 @@ func (s *System) RunArrivals(arrivals []trace.Arrival, duration time.Duration, i
 		}
 	}
 
+	// Overload-guard ticks on the virtual clock: escalation, deferred
+	// degrades and restores advance at a fixed 1s cadence (the live server
+	// runs the same guard off a wall-clock ticker).
+	if s.guard != nil {
+		for at := time.Second; at <= duration; at += time.Second {
+			at := at
+			s.engine.Schedule(at, func() { s.applyOverloadChanges(s.guard.Tick(at)) })
+		}
+	}
+
 	// Fault injection: the schedule's events become simulation events.
 	if s.cfg.Faults != nil {
 		for _, ev := range s.cfg.Faults.Events {
@@ -235,12 +251,15 @@ func (s *System) sampleTSDB() {
 	now := s.engine.Now()
 	states := make([]tsdb.DeviceState, len(s.workers))
 	for d, w := range s.workers {
+		sat, pressured := s.guard.DeviceSignal(d)
 		states[d] = tsdb.DeviceState{
 			Up:         !w.down,
 			QueueDepth: len(w.queue) + len(w.inflight),
 			LastBatch:  w.lastBatch,
 			Variant:    w.hostedID(),
 			BusyTime:   w.busyTime(now),
+			SatMilli:   sat,
+			Pressured:  pressured,
 		}
 	}
 	s.recorder.Sample(now, states)
@@ -263,6 +282,10 @@ func (s *System) onBurn(ev tsdb.BurnEvent) {
 		ShortBurn: ev.ShortBurn,
 		LongBurn:  ev.LongBurn,
 	})
+	// Emergency accuracy degradation reacts to the burn edge immediately —
+	// never waiting for the next control period. The guard's lock is a leaf,
+	// so calling it under the recorder's lock is safe.
+	s.applyOverloadChanges(s.guard.OnBurn(ev.At, ev.Family, ev.Start))
 	if ev.Start && s.cfg.SLOBurnRealloc && s.controller.Dynamic() && s.controller.AllowBurst(ev.At) {
 		s.reallocate("slo_burn")
 	}
@@ -291,13 +314,46 @@ func (s *System) onArrival(a trace.Arrival) {
 }
 
 func (s *System) route(now time.Duration, q query) {
-	d := s.table.Pick(q.family, s.rng)
+	var d int
+	if s.guard != nil {
+		d = s.table.PickExcluding(q.family, s.rng, func(dev int) bool {
+			return s.guard.Banned(q.family, dev)
+		})
+		if d >= 0 && !s.guard.Admit(now, d, q.deadline) {
+			// Shed-on-arrival: the query provably cannot meet its deadline
+			// behind d's backlog, so executing it would only waste capacity.
+			s.dropQuery(now, q)
+			return
+		}
+	} else {
+		d = s.table.Pick(q.family, s.rng)
+	}
 	if d < 0 {
 		s.dropQuery(now, q)
 		return
 	}
 	s.tracer.Record(now, telemetry.EvRoute, q.id, q.family, d, -1)
 	s.workers[d].enqueue(q)
+}
+
+// applyOverloadChanges publishes the guard's degradation-ladder transitions:
+// tracer events (degrade_start carries the new level in the batch field) and
+// decision-audit records attached to the next PlanRecord.
+func (s *System) applyOverloadChanges(changes []overload.Change) {
+	for _, ch := range changes {
+		kind := telemetry.EvDegradeStart
+		if ch.Kind == overload.Restore {
+			kind = telemetry.EvDegradeEnd
+		}
+		s.tracer.Record(ch.At, kind, 0, ch.Family, -1, ch.Level)
+		s.controller.NoteOverload(controlplane.OverloadRecord{
+			At:     ch.At,
+			Family: ch.Family,
+			Kind:   string(ch.Kind),
+			Level:  ch.Level,
+			Reason: ch.Reason,
+		})
+	}
 }
 
 func (s *System) reallocate(trigger string) {
@@ -448,6 +504,33 @@ func (s *System) rebuildTable() {
 	// Admission follows the full plan, not the load-masked subset: during a
 	// model load the remaining devices absorb the full admitted load.
 	s.table.SetAdmission(admit)
+	s.syncGuardPlan(now)
+}
+
+// syncGuardPlan refreshes the overload guard's per-device profiles from the
+// workers' current hosting (rebuildTable's call sites cover every hosting
+// change: plan application, load completion, failure, recovery).
+func (s *System) syncGuardPlan(now time.Duration) {
+	if s.guard == nil {
+		return
+	}
+	profs := make([]overload.DeviceProfile, len(s.workers))
+	for d, w := range s.workers {
+		profs[d] = overload.DeviceProfile{Family: -1}
+		if w.down || w.hosted == nil || w.maxBatch < 1 {
+			continue
+		}
+		f := w.hosted.Family
+		profs[d] = overload.DeviceProfile{
+			Family:   f,
+			Accuracy: w.hosted.Variant.Accuracy,
+			MaxBatch: w.maxBatch,
+			Lat1:     w.procTime(1),
+			LatMax:   w.procTime(w.maxBatch),
+			SLO:      s.slos[f],
+		}
+	}
+	s.guard.SetPlan(now, profs)
 }
 
 func (s *System) dropQuery(now time.Duration, q query) {

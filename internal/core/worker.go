@@ -17,8 +17,8 @@ type query struct {
 	family   int
 	arrival  time.Duration
 	deadline time.Duration
-	// retries counts failure re-dispatches; a query is retried at most once
-	// before being dropped.
+	// retries counts failure re-dispatches; a query is retried at most
+	// Config.MaxRetries times before being dropped.
 	retries int
 }
 
@@ -86,6 +86,13 @@ func (w *worker) arrivalRate() float64 {
 	return w.rateEWMA
 }
 
+// syncDepth reports the current mailbox depth to the overload guard (a
+// no-op when the guard is off). Called after every queue mutation so the
+// backpressure hysteresis and admission bound always see the true depth.
+func (w *worker) syncDepth() {
+	w.sys.guard.NoteDepth(w.dev.ID, len(w.queue))
+}
+
 func (w *worker) hostedID() string {
 	if w.hosted == nil {
 		return ""
@@ -135,6 +142,7 @@ func (w *worker) enqueue(q query) {
 	w.noteArrival(now)
 	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1)
 	w.queue = append(w.queue, q)
+	w.syncDepth()
 	w.evaluate()
 }
 
@@ -143,6 +151,7 @@ func (w *worker) enqueue(q query) {
 func (w *worker) takeQueue() []query {
 	qs := w.queue
 	w.queue = nil
+	w.syncDepth()
 	w.cancelWake()
 	return qs
 }
@@ -212,6 +221,7 @@ func (w *worker) dropExpired(now time.Duration) {
 		keep = append(keep, q)
 	}
 	w.queue = keep
+	w.syncDepth()
 }
 
 // evaluate runs the batching policy and acts on its decision. It is called
@@ -227,6 +237,7 @@ func (w *worker) evaluate() {
 			w.sys.dropQuery(now, q)
 		}
 		w.queue = nil
+		w.syncDepth()
 		return
 	}
 	if now < w.loadingUntil {
@@ -297,6 +308,7 @@ func (w *worker) applyDrops(now time.Duration, drop []int) {
 		keep = append(keep, q)
 	}
 	w.queue = keep
+	w.syncDepth()
 }
 
 // execute runs the first b queued queries as one batch.
@@ -310,6 +322,7 @@ func (w *worker) execute(now time.Duration, b int) {
 	batch := make([]query, b)
 	copy(batch, w.queue[:b])
 	w.queue = append(w.queue[:0], w.queue[b:]...)
+	w.syncDepth()
 
 	batchID := w.sys.nextBatchID
 	w.sys.nextBatchID++

@@ -118,6 +118,65 @@ func (t *Table) Pick(q int, rng *numeric.RNG) int {
 	return t.devices[q][i]
 }
 
+// PickExcluding selects a device for a query of family q like Pick, but
+// renormalizes the plan's weights over the devices NOT excluded by the
+// banned predicate — the overload guard's hook for backpressure (pressured
+// mailboxes leave the candidate set) and emergency degradation (masked
+// variant tiers leave it). When every candidate is banned the pick falls
+// back to the full plan weights: sending the query somewhere keeps the
+// deadline admission controller as the backstop instead of silently
+// dropping whole families. Admission-fraction shed consumes exactly one
+// rng draw, same as Pick, so enabling the guard does not perturb the
+// shed sequence. A nil banned predicate makes this identical to Pick.
+func (t *Table) PickExcluding(q int, rng *numeric.RNG, banned func(device int) bool) int {
+	if q < 0 || q >= len(t.devices) || len(t.devices[q]) == 0 {
+		t.counters.Shed.Inc()
+		return -1
+	}
+	if t.admit[q] < 1 && rng.Float64() >= t.admit[q] {
+		t.counters.Shed.Inc()
+		return -1
+	}
+	weights := t.weights[q]
+	if banned != nil {
+		total := 0.0
+		for i, d := range t.devices[q] {
+			if !banned(d) {
+				total += weights[i]
+			}
+		}
+		if total > 0 {
+			// Weighted pick over the allowed subset without allocating: walk
+			// the cumulative allowed mass against one scaled rng draw.
+			target := rng.Float64() * total
+			last := -1
+			for i, d := range t.devices[q] {
+				if banned(d) {
+					continue
+				}
+				last = i
+				target -= weights[i]
+				if target < 0 {
+					break
+				}
+			}
+			if last >= 0 {
+				t.counters.Picks.Inc()
+				return t.devices[q][last]
+			}
+		}
+		// All candidates banned (or zero allowed mass): fall through to the
+		// full plan weights.
+	}
+	i := numeric.WeightedChoice(rng, weights)
+	if i < 0 {
+		t.counters.Shed.Inc()
+		return -1
+	}
+	t.counters.Picks.Inc()
+	return t.devices[q][i]
+}
+
 // Devices returns the devices serving family q.
 func (t *Table) Devices(q int) []int {
 	if q < 0 || q >= len(t.devices) {

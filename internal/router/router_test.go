@@ -86,6 +86,57 @@ func TestAdmissionOverride(t *testing.T) {
 	}
 }
 
+func TestPickExcludingRenormalizes(t *testing.T) {
+	tab := BuildTable(alloc2x3(), 2)
+	rng := numeric.NewRNG(11)
+	// Banning device 0 sends all of family 0's traffic to device 1.
+	for i := 0; i < 1000; i++ {
+		if d := tab.PickExcluding(0, rng, func(d int) bool { return d == 0 }); d != 1 {
+			t.Fatalf("pick with device 0 banned = %d, want 1", d)
+		}
+	}
+	// Nil predicate matches Pick's distribution.
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[tab.PickExcluding(0, rng, nil)]++
+	}
+	if got := float64(counts[0]) / n; math.Abs(got-0.6) > 0.01 {
+		t.Fatalf("device 0 share %v, want ~0.6", got)
+	}
+}
+
+func TestPickExcludingAllBannedFallsBack(t *testing.T) {
+	tab := BuildTable(alloc2x3(), 2)
+	rng := numeric.NewRNG(13)
+	// Every candidate banned: fall back to the full plan weights so the
+	// deadline admission controller stays the backstop.
+	counts := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		counts[tab.PickExcluding(0, rng, func(int) bool { return true })]++
+	}
+	if counts[-1] != 0 || counts[0]+counts[1] != 1000 {
+		t.Fatalf("all-banned fallback counts = %v", counts)
+	}
+}
+
+func TestPickExcludingAdmission(t *testing.T) {
+	tab := BuildTable(alloc2x3(), 2)
+	rng := numeric.NewRNG(17)
+	// Family 1's 0.5 admission fraction applies before the exclusion logic
+	// and consumes exactly one rng draw, matching Pick.
+	shed := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if tab.PickExcluding(1, rng, func(int) bool { return false }) == -1 {
+			shed++
+		}
+	}
+	if frac := float64(shed) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("shed fraction %v, want ~0.5", frac)
+	}
+}
+
 func TestPickNoRoute(t *testing.T) {
 	a := alloc2x3()
 	a.Routing[0] = []float64{0, 0, 0}

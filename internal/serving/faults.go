@@ -107,15 +107,15 @@ func (s *Server) recoverDevice(d int) {
 }
 
 // redispatch returns a stranded query to the router: dropped if it already
-// burned its retry or cannot meet its deadline, re-routed (once) to a
-// surviving replica otherwise.
+// burned its re-route budget (Config.MaxRetries) or cannot meet its
+// deadline, re-routed to a surviving replica otherwise.
 func (s *Server) redispatch(q liveQuery) {
 	now := s.now()
 	s.tc.Requeued.Inc()
 	s.tracer.Record(now, telemetry.EvRequeued, q.id, q.family, -1, -1)
 	s.mu.Lock()
 	s.collector.Requeued(now, q.family)
-	if q.retries >= 1 || q.deadline <= now {
+	if q.retries >= s.cfg.MaxRetries || q.deadline <= now {
 		s.mu.Unlock()
 		s.recordDrop(q)
 		return

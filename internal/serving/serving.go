@@ -24,6 +24,7 @@ import (
 	"proteus/internal/metrics"
 	"proteus/internal/models"
 	"proteus/internal/numeric"
+	"proteus/internal/overload"
 	"proteus/internal/profiles"
 	"proteus/internal/router"
 	"proteus/internal/telemetry"
@@ -69,7 +70,16 @@ type Config struct {
 	// SLOBurnRealloc lets an SLO burn start trigger an early re-allocation
 	// (subject to the controller cooldown). Off by default.
 	SLOBurnRealloc bool
-	Seed           uint64
+	// Overload, when non-nil and enabled, activates the fast-path overload
+	// guard: deadline admission control, high/low-water mailbox
+	// backpressure, and burn-triggered emergency accuracy degradation.
+	// Requires TSDB for the degradation path (the burn monitor triggers it).
+	Overload *overload.Config
+	// MaxRetries is the per-query re-route budget after a device failure
+	// strands it (0 drops stranded queries immediately, negative values are
+	// treated as 0). Default 1, preserving the single re-dispatch.
+	MaxRetries int
+	Seed       uint64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -108,6 +118,11 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewRegistry()
 	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
 	if err := c.Faults.Validate(c.Cluster.Size()); err != nil {
 		return c, err
 	}
@@ -142,6 +157,7 @@ type Server struct {
 	mu        sync.Mutex
 	rng       *numeric.RNG
 	table     *router.Table
+	guard     *overload.Guard
 	plan      *allocator.Allocation
 	stats     *controlplane.Stats
 	collector *metrics.Collector
@@ -169,8 +185,14 @@ type Server struct {
 	nextID    atomic.Uint64
 	nextBatch atomic.Int64
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	// draining refuses new queries while in-flight ones (counted by
+	// inflight) finish — the graceful-shutdown half of overload protection.
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // NewServer assembles and starts the cluster: the initial allocation is
@@ -205,6 +227,10 @@ func NewServer(cfg Config) (*Server, error) {
 	s.controller.Instrument(cfg.Telemetry)
 	s.recorder = cfg.TSDB
 	s.recorder.Init(len(cfg.Families), s.onBurn)
+	if cfg.Overload != nil {
+		s.guard = overload.New(*cfg.Overload, len(cfg.Families), cfg.Cluster.Size())
+		s.guard.Instrument(cfg.Telemetry)
+	}
 	s.tc.DevicesUp.Set(int64(cfg.Cluster.Size()))
 
 	for _, dev := range cfg.Cluster.Devices() {
@@ -234,6 +260,10 @@ func NewServer(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.sampleLoop()
 	}
+	if s.guard != nil {
+		s.wg.Add(1)
+		go s.overloadLoop()
+	}
 	if !cfg.Faults.Empty() {
 		s.wg.Add(1)
 		go s.faultLoop()
@@ -241,14 +271,38 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the workers and the controller loop.
+// Close stops the workers and the controller loop. Safe to call more than
+// once (Drain ends in a Close, and callers often defer another).
 func (s *Server) Close() {
-	close(s.stop)
-	for _, w := range s.workers {
-		w.shutdown()
-	}
-	s.wg.Wait()
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		for _, w := range s.workers {
+			w.shutdown()
+		}
+		s.wg.Wait()
+	})
 }
+
+// Drain performs a graceful shutdown: new queries are refused immediately
+// (Infer returns a drop), in-flight queries keep executing, and once none
+// remain — or the timeout expires — the server stops. Returns true when
+// every in-flight query finished within the bound.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	drained := s.inflight.Load() == 0
+	s.Close()
+	return drained
+}
+
+// Draining reports whether the server is refusing new queries.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight returns the number of queries currently inside Infer.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
 
 // now returns the elapsed run time (all internal timestamps are durations
 // since server start, matching the simulator's time base).
@@ -285,6 +339,7 @@ func (s *Server) sampleLoop() {
 			states := make([]tsdb.DeviceState, len(s.workers))
 			for d, w := range s.workers {
 				states[d] = w.deviceState()
+				states[d].SatMilli, states[d].Pressured = s.guard.DeviceSignal(d)
 			}
 			s.recorder.Sample(now, states)
 		}
@@ -309,8 +364,49 @@ func (s *Server) onBurn(ev tsdb.BurnEvent) {
 		ShortBurn: ev.ShortBurn,
 		LongBurn:  ev.LongBurn,
 	})
+	// Emergency accuracy degradation reacts to the burn edge immediately —
+	// never waiting for the next control period. The guard's lock is a leaf,
+	// so calling it under the recorder's lock is safe.
+	s.applyOverloadChanges(s.guard.OnBurn(ev.At, ev.Family, ev.Start))
 	if ev.Start && s.cfg.SLOBurnRealloc {
 		s.requestRealloc("slo_burn")
+	}
+}
+
+// overloadLoop advances the overload guard's time-based edges (escalation,
+// deferred degrades, restores) at the same 1s cadence the simulator
+// schedules on its virtual clock.
+func (s *Server) overloadLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.applyOverloadChanges(s.guard.Tick(s.now()))
+		}
+	}
+}
+
+// applyOverloadChanges publishes the guard's degradation-ladder transitions:
+// tracer events (degrade_start carries the new level in the batch field) and
+// decision-audit records attached to the next PlanRecord.
+func (s *Server) applyOverloadChanges(changes []overload.Change) {
+	for _, ch := range changes {
+		kind := telemetry.EvDegradeStart
+		if ch.Kind == overload.Restore {
+			kind = telemetry.EvDegradeEnd
+		}
+		s.tracer.Record(ch.At, kind, 0, ch.Family, -1, ch.Level)
+		s.controller.NoteOverload(controlplane.OverloadRecord{
+			At:     ch.At,
+			Family: ch.Family,
+			Kind:   string(ch.Kind),
+			Level:  ch.Level,
+			Reason: ch.Reason,
+		})
 	}
 }
 
@@ -399,7 +495,6 @@ func (s *Server) applyPlan(plan *allocator.Allocation, initial bool) {
 // workers that are still loading.
 func (s *Server) rebuildTable() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.now()
 	masked := allocator.Allocation{
 		Hosted:  s.plan.Hosted,
@@ -422,6 +517,44 @@ func (s *Server) rebuildTable() {
 	s.table = router.BuildTable(&masked, len(s.cfg.Families))
 	s.table.SetCounters(s.rc)
 	s.table.SetAdmission(admit)
+	s.mu.Unlock()
+	// Guard profiles refresh outside s.mu: guardProfile takes each worker's
+	// lock, and s.mu must not nest around w.mu.
+	s.syncGuardPlan()
+}
+
+// syncGuardPlan refreshes the overload guard's per-device profiles from the
+// workers' current hosting (rebuildTable's call sites cover every hosting
+// change: plan application, load completion, failure, recovery).
+func (s *Server) syncGuardPlan() {
+	if s.guard == nil {
+		return
+	}
+	profs := make([]overload.DeviceProfile, len(s.workers))
+	for d, w := range s.workers {
+		profs[d] = w.guardProfile()
+	}
+	s.guard.SetPlan(s.now(), profs)
+}
+
+// pickDevice routes one query under the server lock, consulting the
+// overload guard when enabled. Returns -1 when the query should be dropped:
+// no serving device, admission-fraction shed, or — with the guard on — a
+// deadline admission rejection (the query provably cannot meet its SLO
+// behind the picked device's backlog).
+func (s *Server) pickDevice(now time.Duration, q liveQuery) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.guard == nil {
+		return s.table.Pick(q.family, s.rng)
+	}
+	d := s.table.PickExcluding(q.family, s.rng, func(dev int) bool {
+		return s.guard.Banned(q.family, dev)
+	})
+	if d >= 0 && !s.guard.Admit(now, d, q.deadline) {
+		return -1
+	}
+	return d
 }
 
 // Infer serves one query synchronously: routed, queued, batched, executed.
@@ -432,13 +565,13 @@ func (s *Server) Infer(family string) Response {
 	}
 	now := s.now()
 	id := s.nextID.Add(1) - 1
+	s.inflight.Add(1)
 	s.tc.Arrivals.Inc()
 	s.tracer.Record(now, telemetry.EvArrival, id, q, -1, -1)
 	s.recorder.Arrival(now, q)
 	s.mu.Lock()
 	s.stats.Observe(now, q)
 	s.collector.Arrival(now, q)
-	d := s.table.Pick(q, s.rng)
 	s.mu.Unlock()
 
 	lq := liveQuery{
@@ -448,6 +581,13 @@ func (s *Server) Infer(family string) Response {
 		deadline: now + s.slos[q],
 		done:     make(chan Response, 1),
 	}
+	if s.draining.Load() {
+		// Graceful drain: refuse new work immediately; in-flight batches
+		// keep executing.
+		s.recordDrop(lq)
+		return <-lq.done
+	}
+	d := s.pickDevice(now, lq)
 	if d < 0 {
 		s.recordDrop(lq)
 		return <-lq.done
@@ -458,9 +598,7 @@ func (s *Server) Infer(family string) Response {
 }
 
 func (s *Server) dispatch(q liveQuery) {
-	s.mu.Lock()
-	d := s.table.Pick(q.family, s.rng)
-	s.mu.Unlock()
+	d := s.pickDevice(s.now(), q)
 	if d < 0 {
 		s.recordDrop(q)
 		return
@@ -477,6 +615,7 @@ func (s *Server) recordDrop(q liveQuery) {
 	s.mu.Lock()
 	s.collector.Dropped(now, q.family)
 	s.mu.Unlock()
+	s.inflight.Add(-1)
 	q.done <- Response{Outcome: OutcomeDropped, Family: s.cfg.Families[q.family].Name,
 		LatencyMS: float64(now-q.arrival) / float64(time.Millisecond)}
 }
@@ -508,6 +647,7 @@ func (s *Server) recordCompletion(q liveQuery, variant string, accuracy float64,
 		resp.Outcome = OutcomeLate
 	}
 	s.mu.Unlock()
+	s.inflight.Add(-1)
 	q.done <- resp
 }
 
@@ -517,6 +657,11 @@ func (s *Server) Summary() metrics.Summary {
 	defer s.mu.Unlock()
 	return s.collector.Summarize(-1)
 }
+
+// Collector exposes the run's metrics collector for final-dump assembly
+// (report.Build). Read it only after the server stopped — the collector is
+// otherwise written under the server's lock.
+func (s *Server) Collector() *metrics.Collector { return s.collector }
 
 // Allocation returns the hosted variant per device of the current plan.
 func (s *Server) Allocation() map[string]string {
@@ -539,12 +684,22 @@ type DeviceHealth struct {
 	Up     bool   `json:"up"`
 }
 
-// Health reports each device's up/down state and the healthy count.
+// Health reports each device's up/down state, the healthy count, and the
+// overload guard's state (per-device saturation plus any active emergency
+// degradation episode) so external probes can distinguish "degraded by
+// plan" — the controller chose cheaper variants — from "degraded by
+// overload" — the guard masked accuracy tiers reactively.
 type Health struct {
 	Status  string         `json:"status"` // "ok" or "degraded"
 	Up      int            `json:"up"`
 	Total   int            `json:"total"`
 	Devices []DeviceHealth `json:"devices"`
+	// Draining marks a server refusing new queries during graceful
+	// shutdown.
+	Draining bool `json:"draining,omitempty"`
+	// Overload is the guard's snapshot (Enabled false when the guard is
+	// off); Overload.Episodes lists families under emergency degradation.
+	Overload overload.State `json:"overload"`
 }
 
 // Health returns the current device health mask.
@@ -553,6 +708,8 @@ func (s *Server) Health() Health {
 	downCopy := append([]bool(nil), s.down...)
 	s.mu.Unlock()
 	h := Health{Status: "ok", Total: len(downCopy)}
+	h.Draining = s.draining.Load()
+	h.Overload = s.guard.State()
 	for d, dn := range downCopy {
 		h.Devices = append(h.Devices, DeviceHealth{
 			Device: d,
@@ -563,7 +720,7 @@ func (s *Server) Health() Health {
 			h.Up++
 		}
 	}
-	if h.Up < h.Total {
+	if h.Up < h.Total || len(h.Overload.Episodes) > 0 {
 		h.Status = "degraded"
 	}
 	return h

@@ -9,6 +9,7 @@ import (
 	"proteus/internal/batching"
 	"proteus/internal/cluster"
 	"proteus/internal/numeric"
+	"proteus/internal/overload"
 	"proteus/internal/profiles"
 	"proteus/internal/telemetry"
 	"proteus/internal/tsdb"
@@ -20,8 +21,8 @@ type liveQuery struct {
 	family   int
 	arrival  time.Duration
 	deadline time.Duration
-	// retries counts failure re-dispatches; a query is retried at most once
-	// before being dropped.
+	// retries counts failure re-dispatches; a query is retried at most
+	// Config.MaxRetries times before being dropped.
 	retries int
 	done    chan Response
 }
@@ -78,6 +79,32 @@ func (w *liveWorker) wake() {
 	}
 }
 
+// syncDepthLocked reports the current mailbox depth to the overload guard
+// (a no-op when the guard is off). Caller holds w.mu; the guard's lock is a
+// leaf, so the nesting is safe.
+func (w *liveWorker) syncDepthLocked() {
+	w.sys.guard.NoteDepth(w.dev.ID, len(w.queue))
+}
+
+// guardProfile snapshots the worker's hosting for the overload guard's
+// admission bound and degradation ladder.
+func (w *liveWorker) guardProfile() overload.DeviceProfile {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.down || w.hosted == nil || w.maxBatch < 1 {
+		return overload.DeviceProfile{Family: -1}
+	}
+	f := w.hosted.Family
+	return overload.DeviceProfile{
+		Family:   f,
+		Accuracy: w.hosted.Variant.Accuracy,
+		MaxBatch: w.maxBatch,
+		Lat1:     profiles.Latency(w.dev.Spec, w.hosted.Variant, 1),
+		LatMax:   profiles.Latency(w.dev.Spec, w.hosted.Variant, w.maxBatch),
+		SLO:      w.sys.slos[f],
+	}
+}
+
 func (w *liveWorker) hostedID() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -99,6 +126,7 @@ func (w *liveWorker) setHosted(ref *allocator.VariantRef, loadDelay time.Duratio
 	w.mu.Lock()
 	requeue := w.queue
 	w.queue = nil
+	w.syncDepthLocked()
 	w.hosted = ref
 	w.policy.Reset()
 	if ref == nil {
@@ -132,6 +160,7 @@ func (w *liveWorker) enqueue(q liveQuery) {
 	w.noteArrival(now)
 	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1)
 	w.queue = append(w.queue, q)
+	w.syncDepthLocked()
 	w.mu.Unlock()
 	w.wake()
 }
@@ -145,6 +174,7 @@ func (w *liveWorker) fail() []liveQuery {
 	w.down = true
 	stranded := w.queue
 	w.queue = nil
+	w.syncDepthLocked()
 	w.hosted = nil
 	w.maxBatch, w.memBatch = 0, 0
 	w.policy.Reset()
@@ -234,6 +264,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 		if w.closed {
 			pending := w.queue
 			w.queue = nil
+			w.syncDepthLocked()
 			w.mu.Unlock()
 			for _, q := range pending {
 				w.sys.recordDrop(q)
@@ -244,6 +275,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 		if w.down {
 			pending := w.queue
 			w.queue = nil
+			w.syncDepthLocked()
 			w.mu.Unlock()
 			for _, q := range pending {
 				w.sys.redispatch(q)
@@ -254,6 +286,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 		if w.hosted == nil || w.maxBatch < 1 {
 			pending := w.queue
 			w.queue = nil
+			w.syncDepthLocked()
 			w.mu.Unlock()
 			for _, q := range pending {
 				w.sys.recordDrop(q)
@@ -312,6 +345,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 				keep = append(keep, q)
 			}
 			w.queue = keep
+			w.syncDepthLocked()
 		}
 		var batch []liveQuery
 		var wait time.Duration
@@ -324,6 +358,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 			batch = make([]liveQuery, b)
 			copy(batch, w.queue[:b])
 			w.queue = append(w.queue[:0], w.queue[b:]...)
+			w.syncDepthLocked()
 		case batching.Wait:
 			// The simulator can cut waits to the exact T_max_wait edge; on
 			// wall clocks, scheduler jitter would turn that into misses, so

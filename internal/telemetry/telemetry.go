@@ -240,6 +240,40 @@ func NewRouterCounters(r *Registry) RouterCounters {
 	}
 }
 
+// OverloadCounters instrument the overload guard: admission decisions,
+// backpressure engagements and the emergency-degradation ladder.
+type OverloadCounters struct {
+	// Admitted counts queries that passed deadline admission control;
+	// Rejected counts queries shed on arrival because they provably could
+	// not meet their deadline given the picked device's backlog.
+	Admitted *Counter
+	Rejected *Counter
+	// Backpressured counts high-water-mark engagements (a device's mailbox
+	// filling past the bound and leaving the routing set).
+	Backpressured *Counter
+	// Degraded / Escalated / Restored count emergency accuracy-degradation
+	// transitions.
+	Degraded  *Counter
+	Escalated *Counter
+	Restored  *Counter
+}
+
+// NewOverloadCounters resolves the overload counter set from the registry
+// (all nil when the registry is nil).
+func NewOverloadCounters(r *Registry) OverloadCounters {
+	if r == nil {
+		return OverloadCounters{}
+	}
+	return OverloadCounters{
+		Admitted:      r.Counter("overload_admitted_total"),
+		Rejected:      r.Counter("overload_rejected_total"),
+		Backpressured: r.Counter("overload_backpressure_total"),
+		Degraded:      r.Counter("overload_degraded_total"),
+		Escalated:     r.Counter("overload_escalated_total"),
+		Restored:      r.Counter("overload_restored_total"),
+	}
+}
+
 // ControlCounters instrument the control plane's re-allocation path.
 type ControlCounters struct {
 	// Reallocations counts successfully produced plans.

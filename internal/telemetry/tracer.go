@@ -39,6 +39,13 @@ const (
 	EvSLOBurnStart
 	// EvSLOBurnEnd: the burn episode ended.
 	EvSLOBurnEnd
+	// EvDegradeStart: the overload guard opened or escalated an emergency
+	// accuracy-degradation episode (family in the Family field, the new
+	// degradation level in the Batch field; query ID 0 — like burn events,
+	// degradations are per family).
+	EvDegradeStart
+	// EvDegradeEnd: the overload guard restored the planned routing.
+	EvDegradeEnd
 
 	numEventKinds
 )
@@ -56,6 +63,8 @@ var eventKindNames = [numEventKinds]string{
 	EvRetried:      "retried",
 	EvSLOBurnStart: "slo_burn_start",
 	EvSLOBurnEnd:   "slo_burn_end",
+	EvDegradeStart: "degrade_start",
+	EvDegradeEnd:   "degrade_end",
 }
 
 // String returns the stable wire name of the event kind.

@@ -267,6 +267,60 @@ func NewBursty(cfg BurstyConfig) *Trace {
 	return tr
 }
 
+// AdversarialConfig parameterizes the worst-case spike trace for the
+// overload experiments: a flat base load with sharp square-wave spikes that
+// start just after each control-period boundary — when the freshly solved
+// plan is maximally stale — and land entirely on the heaviest Zipf family.
+// Between solves the plan cannot react; only the fast-path overload guard
+// can.
+type AdversarialConfig struct {
+	Seconds int
+	// BaseQPS is the aggregate demand outside spikes, split across families
+	// by a Zipf law.
+	BaseQPS float64
+	// SpikeQPS is ADDED to family 0's demand during a spike.
+	SpikeQPS float64
+	// SpikeSeconds is each spike's duration; PeriodSeconds the spacing of
+	// spike starts (align it with the system's control period to hit the
+	// stale-plan window).
+	SpikeSeconds  int
+	PeriodSeconds int
+	// SpikeOffset delays each spike past the period boundary (default 1s —
+	// right after the periodic solve is applied).
+	SpikeOffset int
+	ZipfAlpha   float64
+	Families    []string
+}
+
+// NewAdversarial synthesizes the stale-plan spike trace.
+func NewAdversarial(cfg AdversarialConfig) *Trace {
+	if cfg.Seconds <= 0 || len(cfg.Families) == 0 {
+		panic("trace: adversarial config needs Seconds and Families")
+	}
+	if cfg.SpikeSeconds <= 0 || cfg.PeriodSeconds <= 0 {
+		panic("trace: adversarial config needs positive spike and period lengths")
+	}
+	if cfg.SpikeOffset <= 0 {
+		cfg.SpikeOffset = 1
+	}
+	if cfg.ZipfAlpha <= 0 {
+		cfg.ZipfAlpha = 1.001
+	}
+	zipf := numeric.NewZipf(len(cfg.Families), cfg.ZipfAlpha)
+	tr := &Trace{Families: append([]string(nil), cfg.Families...)}
+	for t := 0; t < cfg.Seconds; t++ {
+		row := make([]float64, len(cfg.Families))
+		for f := range row {
+			row[f] = cfg.BaseQPS * zipf.P(f)
+		}
+		if phase := t % cfg.PeriodSeconds; phase >= cfg.SpikeOffset && phase < cfg.SpikeOffset+cfg.SpikeSeconds {
+			row[0] += cfg.SpikeQPS
+		}
+		tr.Demand = append(tr.Demand, row)
+	}
+	return tr
+}
+
 // Arrival is one query arrival: its time offset from trace start and the
 // family (query type) index it belongs to.
 type Arrival struct {

@@ -31,6 +31,12 @@ type DeviceState struct {
 	LastBatch  int
 	Variant    string
 	BusyTime   time.Duration
+	// SatMilli and Pressured carry the overload guard's saturation signal
+	// (estimated queueing delay in thousandths of the SLO, and whether
+	// backpressure excludes the device from routing). Zero when the guard is
+	// disabled.
+	SatMilli  int
+	Pressured bool
 }
 
 // Sample is one recorded point of a device's time-series. UtilMilli is the
@@ -44,6 +50,10 @@ type Sample struct {
 	BatchSize  int           `json:"batch_size"`
 	UtilMilli  int           `json:"util_milli"`
 	Variant    string        `json:"variant,omitempty"`
+	// SatMilli / Pressured mirror DeviceState's overload signal; omitted
+	// from JSON when the guard is off so pre-guard dumps stay byte-identical.
+	SatMilli  int  `json:"sat_milli,omitempty"`
+	Pressured bool `json:"pressured,omitempty"`
 }
 
 // Recorder collects the windowed observability signals of one run: the
@@ -165,6 +175,8 @@ func (r *Recorder) Sample(now time.Duration, devices []DeviceState) {
 			BatchSize:  st.LastBatch,
 			UtilMilli:  int(busy * 1000 / interval),
 			Variant:    st.Variant,
+			SatMilli:   st.SatMilli,
+			Pressured:  st.Pressured,
 		})
 	}
 	if r.slo != nil {

@@ -43,6 +43,7 @@ import (
 	"proteus/internal/experiments"
 	"proteus/internal/metrics"
 	"proteus/internal/models"
+	"proteus/internal/overload"
 	"proteus/internal/profiles"
 	"proteus/internal/report"
 	"proteus/internal/serving"
@@ -135,6 +136,15 @@ type (
 	RunDumpInput = report.BuildInput
 	// BenchBaseline is a parsed proteus-benchjson output.
 	BenchBaseline = report.Baseline
+	// OverloadConfig enables the fast-path overload guard — deadline
+	// admission control, mailbox backpressure, and burn-triggered emergency
+	// accuracy degradation (SystemConfig.Overload / LiveConfig.Overload).
+	OverloadConfig = overload.Config
+	// OverloadState is the guard's introspection snapshot, exposed by the
+	// live server's /healthz endpoint.
+	OverloadState = overload.State
+	// OverloadEpisode is one active emergency-degradation episode.
+	OverloadEpisode = overload.Episode
 )
 
 // Device types of the paper's testbed.
@@ -310,5 +320,48 @@ func NewBurstyTrace(cfg BurstyTraceConfig) *Trace {
 		ZipfAlpha:    1.001,
 		Families:     cfg.Families,
 		StartWithLow: true,
+	})
+}
+
+// AdversarialTraceConfig parameterizes the stale-plan spike workload used
+// by the overload experiments: flat base demand plus square-wave spikes on
+// the heaviest family, each starting just after a control-period boundary.
+type AdversarialTraceConfig struct {
+	Seconds       int
+	BaseQPS       float64
+	SpikeQPS      float64 // added to family 0 during each spike
+	SpikeSeconds  int
+	PeriodSeconds int // spike spacing; align with the control period
+	Families      []string
+}
+
+// NewAdversarialTrace synthesizes the stale-plan spike workload.
+func NewAdversarialTrace(cfg AdversarialTraceConfig) *Trace {
+	if cfg.Seconds <= 0 {
+		cfg.Seconds = 300
+	}
+	if cfg.BaseQPS <= 0 {
+		cfg.BaseQPS = 150
+	}
+	if cfg.SpikeQPS <= 0 {
+		cfg.SpikeQPS = cfg.BaseQPS * 3
+	}
+	if cfg.SpikeSeconds <= 0 {
+		cfg.SpikeSeconds = 10
+	}
+	if cfg.PeriodSeconds <= 0 {
+		cfg.PeriodSeconds = 30
+	}
+	if len(cfg.Families) == 0 {
+		cfg.Families = models.FamilyNames(models.Zoo())
+	}
+	return trace.NewAdversarial(trace.AdversarialConfig{
+		Seconds:       cfg.Seconds,
+		BaseQPS:       cfg.BaseQPS,
+		SpikeQPS:      cfg.SpikeQPS,
+		SpikeSeconds:  cfg.SpikeSeconds,
+		PeriodSeconds: cfg.PeriodSeconds,
+		ZipfAlpha:     1.001,
+		Families:      cfg.Families,
 	})
 }
