@@ -64,7 +64,7 @@ type Pass struct {
 	Info   *types.Info
 
 	check      string
-	directives directiveIndex
+	directives *directiveIndex
 	findings   *[]Finding
 }
 
@@ -104,6 +104,73 @@ func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
+// ModuleChecker is an interprocedural check run once over every loaded
+// package together, rather than per package. Module checkers see the whole
+// call graph, so they can follow a nondeterminism source or a lock
+// acquisition across package boundaries that per-package syntax checks are
+// blind to.
+type ModuleChecker interface {
+	// Name is the check ID used in reports and //lint:allow directives.
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// RunModule inspects the module and reports findings through the pass.
+	RunModule(pass *ModulePass)
+}
+
+// ModulePass is the whole-module context handed to ModuleChecker.RunModule.
+// Pkgs is sorted by import path regardless of load order, so module checkers
+// are deterministic by construction.
+type ModulePass struct {
+	Fset   *token.FileSet
+	Module string
+	Pkgs   []*Package
+
+	check    string
+	findings *[]Finding
+	cg       *CallGraph
+}
+
+// Reportf records a finding at pos unless a //lint:allow directive suppresses
+// the current check on that line (in whichever package owns the file).
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	for _, pkg := range p.Pkgs {
+		if pkg.directives.allows(position.Filename, position.Line, p.check) {
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:     position,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// CallGraph returns the module-wide call graph, built once and shared by
+// every module checker in the pass.
+func (p *ModulePass) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = BuildCallGraph(p.Module, p.Pkgs)
+	}
+	return p.cg
+}
+
+// pass builds a per-package helper Pass so module checkers can reuse the
+// syntactic helpers (CalleeFunc, TypeOf, sortedKeysIdiom). It must not be
+// used for reporting — its findings sink is nil.
+func (p *ModulePass) pass(pkg *Package) *Pass {
+	return &Pass{
+		Fset:       p.Fset,
+		Path:       pkg.Path,
+		Module:     p.Module,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		directives: pkg.directives,
+	}
+}
+
 // scope restricts a checker to packages matching any of its import-path
 // prefixes. An empty prefix list admits every package.
 type scopedChecker struct {
@@ -123,9 +190,11 @@ func (s scopedChecker) applies(pkgPath string) bool {
 	return false
 }
 
-// Registry is an ordered set of checkers with per-checker package scopes.
+// Registry is an ordered set of checkers with per-checker package scopes,
+// plus whole-module interprocedural checkers.
 type Registry struct {
-	entries []scopedChecker
+	entries    []scopedChecker
+	modEntries []ModuleChecker
 }
 
 // Register adds a checker restricted to packages under the given import-path
@@ -134,13 +203,44 @@ func (r *Registry) Register(c Checker, pathPrefixes ...string) {
 	r.entries = append(r.entries, scopedChecker{checker: c, prefixes: pathPrefixes})
 }
 
-// Checkers lists the registered checkers in registration order.
+// RegisterModule adds a whole-module checker.
+func (r *Registry) RegisterModule(c ModuleChecker) {
+	r.modEntries = append(r.modEntries, c)
+}
+
+// Checkers lists the registered per-package checkers in registration order.
 func (r *Registry) Checkers() []Checker {
 	out := make([]Checker, len(r.entries))
 	for i, e := range r.entries {
 		out[i] = e.checker
 	}
 	return out
+}
+
+// ModuleCheckers lists the registered whole-module checkers in registration
+// order.
+func (r *Registry) ModuleCheckers() []ModuleChecker {
+	return append([]ModuleChecker(nil), r.modEntries...)
+}
+
+// Rule describes one registered check for machine-readable emitters (the
+// SARIF rules table).
+type Rule struct {
+	ID  string
+	Doc string
+}
+
+// Rules lists every registered check (per-package and module) sorted by ID.
+func (r *Registry) Rules() []Rule {
+	var rules []Rule
+	for _, e := range r.entries {
+		rules = append(rules, Rule{ID: e.checker.Name(), Doc: e.checker.Doc()})
+	}
+	for _, c := range r.modEntries {
+		rules = append(rules, Rule{ID: c.Name(), Doc: c.Doc()})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	return rules
 }
 
 // DeterministicPackages are the import-path suffixes (relative to the module)
@@ -178,6 +278,9 @@ func DefaultRegistry(module string) *Registry {
 	r.Register(LockDiscipline{})
 	r.Register(FloatEq{}, under(SolverPackages)...)
 	r.Register(ErrCheck{})
+	r.Register(AllowReason{})
+	r.RegisterModule(Nondet{Sinks: under(DeterministicPackages)})
+	r.RegisterModule(LockOrder{})
 	return r
 }
 
@@ -206,20 +309,53 @@ func (r *Registry) RunPackage(pkg *Package) []Finding {
 	return findings
 }
 
+// RunModule runs every registered module checker once over the given
+// packages and returns the findings sorted. The packages are re-sorted by
+// import path internally, so the caller's load order cannot influence the
+// report.
+func (r *Registry) RunModule(mod *Module, pkgs []*Package) []Finding {
+	if len(r.modEntries) == 0 {
+		return nil
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	var findings []Finding
+	pass := &ModulePass{
+		Fset:     mod.Fset,
+		Module:   mod.Path,
+		Pkgs:     sorted,
+		findings: &findings,
+	}
+	for _, c := range r.modEntries {
+		pass.check = c.Name()
+		c.RunModule(pass)
+	}
+	SortFindings(findings)
+	return findings
+}
+
+// RunPackages runs the per-package checkers over each package in the given
+// order, then the module checkers over all of them together, and returns the
+// combined findings sorted. The result is independent of the order of pkgs.
+func (r *Registry) RunPackages(mod *Module, pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, r.RunPackage(pkg)...)
+	}
+	findings = append(findings, r.RunModule(mod, pkgs)...)
+	SortFindings(findings)
+	return findings
+}
+
 // Run loads the packages matching patterns under the module rooted at root
-// and returns all findings in deterministic order.
+// and returns all findings in deterministic order. Module checkers see
+// exactly the loaded subset: run with "./..." for whole-module analysis.
 func (r *Registry) Run(root string, patterns []string) ([]Finding, error) {
 	mod, pkgs, err := LoadModule(root, patterns)
 	if err != nil {
 		return nil, err
 	}
-	_ = mod
-	var findings []Finding
-	for _, pkg := range pkgs {
-		findings = append(findings, r.RunPackage(pkg)...)
-	}
-	SortFindings(findings)
-	return findings, nil
+	return r.RunPackages(mod, pkgs), nil
 }
 
 // SortFindings orders findings by file, line, column, check and message so

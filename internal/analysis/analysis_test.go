@@ -34,8 +34,20 @@ const wantMarker = "// want "
 // package and returns the set of lines the checker must flag.
 func expectedLines(t *testing.T, pkg *Package, check string) map[string]bool {
 	t.Helper()
+	want := markerLines(t, pkg.Filenames, check)
+	if len(want) == 0 {
+		t.Fatalf("corpus %s has no `// want %s` markers", pkg.Path, check)
+	}
+	return want
+}
+
+// markerLines scans files for `// want <check>` markers without requiring any
+// to exist — module-checker corpora include source-side helper packages whose
+// files legitimately carry none.
+func markerLines(t *testing.T, filenames []string, check string) map[string]bool {
+	t.Helper()
 	want := make(map[string]bool)
-	for _, fn := range pkg.Filenames {
+	for _, fn := range filenames {
 		f, err := os.Open(fn)
 		if err != nil {
 			t.Fatal(err)
@@ -55,9 +67,6 @@ func expectedLines(t *testing.T, pkg *Package, check string) map[string]bool {
 			t.Fatal(err)
 		}
 		f.Close()
-	}
-	if len(want) == 0 {
-		t.Fatalf("corpus %s has no `// want %s` markers", pkg.Path, check)
 	}
 	return want
 }
@@ -97,6 +106,169 @@ func TestLockDisciplineGolden(t *testing.T) { runGolden(t, LockDiscipline{}, "lo
 func TestFloatEqGolden(t *testing.T) { runGolden(t, FloatEq{}, "floateq") }
 
 func TestErrCheckGolden(t *testing.T) { runGolden(t, ErrCheck{}, "errcheck") }
+
+// loadCorpus loads several corpus packages together for module-checker tests.
+func loadCorpus(t *testing.T, dirs ...string) (*Module, []*Package) {
+	t.Helper()
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./" + d
+	}
+	mod, pkgs, err := LoadModule(corpusRoot, patterns)
+	if err != nil {
+		t.Fatalf("loading %v: %v", dirs, err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("loading %v: got %d packages, want %d", dirs, len(pkgs), len(dirs))
+	}
+	return mod, pkgs
+}
+
+// runModuleGolden runs one whole-module checker over a set of corpus packages
+// and compares the flagged lines against the `// want` markers of all of
+// them, in both directions.
+func runModuleGolden(t *testing.T, checker ModuleChecker, dirs ...string) []Finding {
+	t.Helper()
+	mod, pkgs := loadCorpus(t, dirs...)
+	reg := &Registry{}
+	reg.RegisterModule(checker)
+	findings := reg.RunModule(mod, pkgs)
+
+	var files []string
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Filenames...)
+	}
+	want := markerLines(t, files, checker.Name())
+	if len(want) == 0 {
+		t.Fatalf("corpus %v has no `// want %s` markers", dirs, checker.Name())
+	}
+	got := make(map[string]bool)
+	for _, f := range findings {
+		got[fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)] = true
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("%v: expected a %s finding at %s, got none", dirs, checker.Name(), key)
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		if !want[key] {
+			t.Errorf("%v: unexpected finding: %v", dirs, f)
+		}
+	}
+	return findings
+}
+
+// corpusSink is the import path the nondet corpus treats as its
+// seed-reproducible set.
+const corpusSink = "example.com/lintcheck/nondetsink"
+
+func TestNondetGolden(t *testing.T) {
+	findings := runModuleGolden(t, Nondet{Sinks: []string{corpusSink}},
+		"nondetsink", "nondethelper")
+
+	// The acceptance shape: a wall-clock read two calls deep must surface
+	// with its complete sink→source chain and the source's file:line.
+	const wantChain = "nondetsink.Sample → nondethelper.Stamp → nondethelper.nowNanos → time.Now (nondethelper.go:"
+	var chains []string
+	for _, f := range findings {
+		chains = append(chains, f.Message)
+		if strings.Contains(f.Message, wantChain) {
+			return
+		}
+	}
+	t.Errorf("no finding carries the full call chain %q; got:\n%s", wantChain, strings.Join(chains, "\n"))
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	findings := runModuleGolden(t, LockOrder{}, "lockorder", "lockorderx", "lockhelper")
+
+	var cycle, cross string
+	for _, f := range findings {
+		if strings.Contains(f.Message, "potential deadlock") {
+			cycle = f.Message
+		}
+		if strings.Contains(f.Message, "cross-package lock chain") {
+			cross = f.Message
+		}
+	}
+	// The cycle report must carry both acquisition sites — one per edge of
+	// the two-lock inversion — and the helper call chain of the second.
+	if cycle == "" {
+		t.Fatal("no lock-order cycle finding")
+	}
+	if got := strings.Count(cycle, "while acquiring"); got != 2 {
+		t.Errorf("cycle finding names %d acquisition sites, want 2: %s", got, cycle)
+	}
+	for _, frag := range []string{
+		"(lockorder.A).mu → (lockorder.B).mu → (lockorder.A).mu",
+		"in (*lockorder.Pair).TransferAB",
+		"via (*lockorder.Pair).TransferBA → (*lockorder.Pair).lockA",
+	} {
+		if !strings.Contains(cycle, frag) {
+			t.Errorf("cycle finding missing %q: %s", frag, cycle)
+		}
+	}
+	if cross == "" {
+		t.Fatal("no cross-package lock chain finding")
+	}
+	for _, frag := range []string{
+		"(lockorderx.Coordinator).mu",
+		"(lockhelper.Registry).mu",
+		"via (*lockorderx.Coordinator).Update → (*lockhelper.Registry).Put",
+	} {
+		if !strings.Contains(cross, frag) {
+			t.Errorf("cross-package finding missing %q: %s", frag, cross)
+		}
+	}
+}
+
+// TestAllowReasonGolden computes its expectations from the corpus text
+// itself: a reasonless directive cannot carry a `// want` marker, because the
+// marker text would become its reason.
+func TestAllowReasonGolden(t *testing.T) {
+	pkg := loadCorpusPackage(t, "allowreason")
+	want := make(map[int]bool)
+	for _, fn := range pkg.Filenames {
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			at := strings.Index(line, allowPrefix)
+			if at < 0 {
+				continue
+			}
+			if len(strings.Fields(line[at+len(allowPrefix):])) == 1 {
+				want[i+1] = true // check list only, no reason
+			}
+		}
+	}
+	if len(want) < 3 {
+		t.Fatalf("allowreason corpus has only %d reasonless directives, want at least 3 (trailing, standalone, self-naming)", len(want))
+	}
+	reg := &Registry{}
+	reg.Register(AllowReason{})
+	findings := reg.RunPackage(pkg)
+	got := make(map[int]bool)
+	for _, f := range findings {
+		if f.Check != "allowreason" {
+			t.Fatalf("unexpected check %s", f.Check)
+		}
+		got[f.Pos.Line] = true
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("expected an allowreason finding at line %d, got none", line)
+		}
+	}
+	for line := range got {
+		if !want[line] {
+			t.Errorf("unexpected allowreason finding at line %d", line)
+		}
+	}
+}
 
 // TestSuppressionDirectives pins the two //lint:allow forms (trailing and
 // standalone-above) to actual suppression: every corpus file contains at
@@ -142,16 +314,26 @@ func TestSuppressionDirectives(t *testing.T) {
 	}
 }
 
+// corpusRegistry mirrors DefaultRegistry's shape over the corpus module:
+// every per-package and whole-module checker, with corpus-appropriate scopes.
+func corpusRegistry() *Registry {
+	reg := &Registry{}
+	reg.Register(Determinism{}, "example.com/lintcheck/determinism")
+	reg.Register(LockDiscipline{})
+	reg.Register(FloatEq{}, "example.com/lintcheck/floateq")
+	reg.Register(ErrCheck{})
+	reg.Register(AllowReason{})
+	reg.RegisterModule(Nondet{Sinks: []string{corpusSink}})
+	reg.RegisterModule(LockOrder{})
+	return reg
+}
+
 // TestOutputDeterminism loads the whole corpus twice from scratch and
 // requires the two formatted reports to be byte-identical and sorted: a
 // linter whose own output order wobbles cannot gate CI.
 func TestOutputDeterminism(t *testing.T) {
 	report := func() string {
-		reg := &Registry{}
-		reg.Register(Determinism{}, "example.com/lintcheck/determinism")
-		reg.Register(LockDiscipline{})
-		reg.Register(FloatEq{}, "example.com/lintcheck/floateq")
-		reg.Register(ErrCheck{})
+		reg := corpusRegistry()
 		findings, err := reg.Run(corpusRoot, []string{"./..."})
 		if err != nil {
 			t.Fatal(err)
@@ -225,8 +407,27 @@ func TestDefaultRegistryChecks(t *testing.T) {
 			t.Errorf("checker %s has no doc line", c.Name())
 		}
 	}
-	want := []string{"determinism", "lockdiscipline", "floateq", "errcheck"}
+	want := []string{"determinism", "lockdiscipline", "floateq", "errcheck", "allowreason"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("registry checks = %v, want %v", names, want)
+	}
+	var modNames []string
+	for _, c := range reg.ModuleCheckers() {
+		modNames = append(modNames, c.Name())
+		if c.Doc() == "" {
+			t.Errorf("module checker %s has no doc line", c.Name())
+		}
+	}
+	wantMod := []string{"nondet", "lockorder"}
+	if strings.Join(modNames, ",") != strings.Join(wantMod, ",") {
+		t.Fatalf("registry module checks = %v, want %v", modNames, wantMod)
+	}
+	var ids []string
+	for _, r := range reg.Rules() {
+		ids = append(ids, r.ID)
+	}
+	wantIDs := []string{"allowreason", "determinism", "errcheck", "floateq", "lockdiscipline", "lockorder", "nondet"}
+	if strings.Join(ids, ",") != strings.Join(wantIDs, ",") {
+		t.Fatalf("registry rules = %v, want %v", ids, wantIDs)
 	}
 }

@@ -1,0 +1,22 @@
+package analysis
+
+import "testing"
+
+// BenchmarkLintModule measures a full proteus-lint pass over this repository
+// itself: load + type-check every package, run the per-package checkers, and
+// run the whole-module interprocedural checkers (call graph, nondet taint,
+// lock-order composition). CI archives this as BENCH_lint.json and gates on
+// regressions, so the interprocedural layer cannot silently turn the lint
+// gate into the slowest step of the build.
+func BenchmarkLintModule(b *testing.B) {
+	reg := DefaultRegistry("proteus")
+	for i := 0; i < b.N; i++ {
+		findings, err := reg.Run("../..", []string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("repository is not lint-clean: %v", findings)
+		}
+	}
+}

@@ -6,13 +6,16 @@ import (
 	"strings"
 )
 
-// ErrCheck flags statements that call an in-module function and drop its
-// error result on the floor. Within this repository an ignored error is
+// ErrCheck flags in-module calls whose error result is dropped — either a
+// bare expression statement or a discard through the blank identifier
+// (`_ = f()`, `x, _ := g()`). Within this repository an ignored error is
 // almost always an allocation or validation failure silently swallowed — the
-// exact failure mode PR 1's fallback chain exists to surface. Only functions
-// defined in this module are checked: stdlib print-style calls whose errors
-// are conventionally ignored stay quiet. An explicit `_ =` assignment is
-// treated as a deliberate, visible discard and is not flagged.
+// exact failure mode PR 1's fallback chain exists to surface. Blank-
+// identifier discards were originally treated as deliberate and exempt;
+// experience says they hide exactly the same bugs with a veneer of intent,
+// so a discard that really is sound must now carry a //lint:allow errcheck
+// with its reason. Only functions defined in this module are checked: stdlib
+// print-style calls whose errors are conventionally ignored stay quiet.
 type ErrCheck struct{}
 
 // Name implements Checker.
@@ -20,39 +23,68 @@ func (ErrCheck) Name() string { return "errcheck" }
 
 // Doc implements Checker.
 func (ErrCheck) Doc() string {
-	return "flag discarded error results from functions defined in this module"
+	return "flag discarded error results (dropped or blank-assigned) from functions defined in this module"
 }
 
 // Run implements Checker.
 func (e ErrCheck) Run(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					e.checkCall(pass, call, -1)
+				}
+			case *ast.AssignStmt:
+				e.checkAssign(pass, n)
 			}
-			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			e.checkCall(pass, call)
 			return true
 		})
 	}
 }
 
-func (e ErrCheck) checkCall(pass *Pass, call *ast.CallExpr) {
+// checkAssign flags error results assigned to the blank identifier. Two
+// shapes: a multi-value call (`x, _ := g()`) where the error position is
+// blank, and pairwise assignment (`_ = f()`) where the sole result is an
+// error.
+func (e ErrCheck) checkAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		errAt := e.moduleErrResult(pass, call)
+		if errAt < 0 || errAt >= len(assign.Lhs) || !isBlank(assign.Lhs[errAt]) {
+			return
+		}
+		e.checkCall(pass, call, errAt)
+		return
+	}
+	if len(assign.Rhs) == len(assign.Lhs) {
+		for i := range assign.Rhs {
+			call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isBlank(assign.Lhs[i]) {
+				continue
+			}
+			e.checkCall(pass, call, 0)
+		}
+	}
+}
+
+// moduleErrResult returns the index of call's error result when the callee
+// is an in-module function that has one, else -1.
+func (e ErrCheck) moduleErrResult(pass *Pass, call *ast.CallExpr) int {
 	fn := pass.CalleeFunc(call)
 	if fn == nil || fn.Pkg() == nil {
-		return
+		return -1
 	}
 	path := fn.Pkg().Path()
 	if path != pass.Module && !strings.HasPrefix(path, pass.Module+"/") {
-		return
+		return -1
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	if sig == nil {
-		return
+		return -1
 	}
 	results := sig.Results()
 	errAt := -1
@@ -61,12 +93,30 @@ func (e ErrCheck) checkCall(pass *Pass, call *ast.CallExpr) {
 			errAt = i
 		}
 	}
+	return errAt
+}
+
+// checkCall reports the discarded error of one in-module call. blankAt < 0
+// means the whole statement drops every result; otherwise the error result
+// went to the blank identifier.
+func (e ErrCheck) checkCall(pass *Pass, call *ast.CallExpr, blankAt int) {
+	errAt := e.moduleErrResult(pass, call)
 	if errAt < 0 {
 		return
 	}
+	fn := pass.CalleeFunc(call)
+	how := "discarded"
+	if blankAt >= 0 {
+		how = "discarded via the blank identifier"
+	}
 	pass.Reportf(call.Pos(),
-		"result %d (error) of %s.%s is discarded; handle it or assign it to _ explicitly",
-		errAt, pathBase(path), fn.Name())
+		"result %d (error) of %s.%s is %s; handle it or annotate the deliberate discard with //lint:allow errcheck",
+		errAt, pathBase(fn.Pkg().Path()), fn.Name(), how)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
 }
 
 var errorType = types.Universe.Lookup("error").Type()

@@ -36,7 +36,7 @@ type Package struct {
 	Info      *types.Info
 
 	mod        *Module
-	directives directiveIndex
+	directives *directiveIndex
 }
 
 // NewModule prepares a module rooted at dir (which must contain go.mod) for
@@ -219,7 +219,7 @@ func (m *Module) load(path string) (*Package, error) {
 	if len(filenames) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	pkg := &Package{Path: path, Dir: dir, mod: m, directives: directiveIndex{}}
+	pkg := &Package{Path: path, Dir: dir, mod: m, directives: newDirectiveIndex()}
 	for _, fn := range filenames {
 		src, err := os.ReadFile(fn)
 		if err != nil {

@@ -284,29 +284,42 @@ func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
 // (locked=false) call on a sync.Mutex or sync.RWMutex, keyed by the receiver
 // expression's source text.
 func (w *lockWalker) lockOp(expr ast.Expr) (key string, locked, ok bool) {
+	sel, locked, ok := mutexLockOp(w.pass, expr)
+	if !ok {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locked, true
+}
+
+// mutexLockOp classifies expr as a Lock/RLock (locked=true) or
+// Unlock/RUnlock (locked=false) call on a sync.Mutex or sync.RWMutex and
+// returns the selector so callers can key the receiver as they see fit
+// (source text for the intraprocedural checker, canonical identity for the
+// lock-order checker).
+func mutexLockOp(pass *Pass, expr ast.Expr) (sel *ast.SelectorExpr, locked, ok bool) {
 	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
 	if !isCall {
-		return "", false, false
+		return nil, false, false
 	}
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
-		return "", false, false
+		return nil, false, false
 	}
-	fn, _ := w.pass.ObjectOf(sel.Sel).(*types.Func)
+	fn, _ := pass.ObjectOf(sel.Sel).(*types.Func)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", false, false
+		return nil, false, false
 	}
 	recv := recvTypeName(fn)
 	if recv != "Mutex" && recv != "RWMutex" {
-		return "", false, false
+		return nil, false, false
 	}
 	switch fn.Name() {
 	case "Lock", "RLock":
-		return types.ExprString(sel.X), true, true
+		return sel, true, true
 	case "Unlock", "RUnlock":
-		return types.ExprString(sel.X), false, true
+		return sel, false, true
 	}
-	return "", false, false
+	return nil, false, false
 }
 
 // recvTypeName returns the name of a method's receiver type ("" for plain

@@ -1,0 +1,690 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the whole-module lock-ordering checker. The intraprocedural
+// lockdiscipline check forbids blocking *operations* under a held mutex, but
+// it cannot see the classic two-function deadlock: f locks A then calls into
+// a function that locks B, while g locks B then (possibly packages away)
+// locks A. LockOrder extracts per-function held-lock/acquire facts with the
+// same mutex tracking lockdiscipline uses, composes them over the module
+// call graph into a global lock-ordering graph, and reports
+//
+//   - cycles in that graph as potential deadlocks, with every edge's
+//     acquisition site and call chain in the message, and
+//   - acquire-while-holding chains that cross a package boundary (a lock in
+//     one package held while a call chain into another package acquires a
+//     second lock) — the shape under which independently-developed packages
+//     silently establish incompatible orders.
+//
+// Lock identity is the struct field path keyed by the declaring named type —
+// "(proteus/internal/serving.Server).mu" — so every instance of a type
+// shares one graph node (the over-approximation that makes cross-instance
+// deadlocks visible). Package-level mutexes are keyed by qualified variable
+// name, function-local ones by function name. Acquiring a lock with the same
+// identity as one already held is skipped: distinct instances of one type
+// (tree nodes, per-device workers) are indistinguishable statically and
+// would drown the report in false self-cycles.
+//
+// Function literals run with a fresh (empty) held set — closures execute as
+// goroutines or callbacks, not inline under the caller's locks — and
+// deferred calls contribute their transitive acquisitions but no
+// held-at-call pairs, since the held set at return time is not statically
+// meaningful. Both choices under-approximate; they are documented here so a
+// quiet report can be audited against them.
+type LockOrder struct{}
+
+// Name implements ModuleChecker.
+func (LockOrder) Name() string { return "lockorder" }
+
+// Doc implements ModuleChecker.
+func (LockOrder) Doc() string {
+	return "detect lock-order cycles and cross-package acquire-while-holding chains over the module call graph"
+}
+
+// loAcquire is one direct Lock/RLock site with the locks held at that point.
+type loAcquire struct {
+	lock string
+	pos  token.Pos
+	held map[string]token.Pos // snapshot, including this lock's precursors only
+}
+
+// loCall is one in-module call made while at least zero locks are held.
+// Calls with an empty held set still matter: they carry the callee's
+// transitive acquisitions up the graph.
+type loCall struct {
+	edges []CGEdge
+	pos   token.Pos
+	held  map[string]token.Pos
+}
+
+// loSummary is one function's lock behavior.
+type loSummary struct {
+	acquires []loAcquire
+	calls    []loCall
+}
+
+// loWitness explains how a function (transitively) acquires a lock: either a
+// direct site or a call into via at callPos.
+type loWitness struct {
+	pos     token.Pos // direct acquire site, or the call site toward via
+	via     *CGNode   // nil for direct acquisitions
+	callPos token.Pos
+}
+
+// loEdge is one edge of the global lock-ordering graph: from held while
+// acquiring to.
+type loEdge struct {
+	from, to string
+	holder   *CGNode   // function that held from
+	holdPos  token.Pos // where from was acquired (or the earliest held site)
+	site     token.Pos // report anchor: the acquire or call site in holder
+	chain    []*CGNode // call chain holder→…→acquirer; empty for direct
+	finalPos token.Pos // the Lock() site that takes to
+	acquirer *CGNode   // function whose body contains finalPos
+}
+
+// RunModule implements ModuleChecker.
+func (l LockOrder) RunModule(mp *ModulePass) {
+	cg := mp.CallGraph()
+	summaries := make(map[*CGNode]*loSummary)
+	for _, node := range cg.Nodes() {
+		summaries[node] = l.summarize(mp, node)
+	}
+	acquired := l.transitiveAcquires(cg, summaries)
+	edges, order := l.lockGraph(cg, summaries, acquired)
+	inCycle := l.reportCycles(mp, cg, edges, order)
+	l.reportCrossPackage(mp, cg, edges, order, inCycle)
+}
+
+// summarize walks one function body tracking the held set (Lock/RLock add,
+// Unlock/RUnlock remove, defer Unlock holds to the end, branch-local unlocks
+// propagate out of falling-through branches — the same model lockdiscipline
+// uses) and records every acquire and every in-module call with its held
+// snapshot.
+func (l LockOrder) summarize(mp *ModulePass, node *CGNode) *loSummary {
+	sum := &loSummary{}
+	edgesAt := make(map[token.Pos][]CGEdge)
+	for _, e := range node.Edges {
+		edgesAt[e.Site] = append(edgesAt[e.Site], e)
+	}
+	w := &loWalker{
+		pass:    mp.pass(node.Pkg),
+		node:    node,
+		sum:     sum,
+		edgesAt: edgesAt,
+		held:    map[string]token.Pos{},
+	}
+	w.walkStmts(node.Body.List)
+	return sum
+}
+
+// transitiveAcquires computes, per function, every lock it may acquire
+// directly or through callees, with a deterministic witness path. The
+// fixpoint iterates nodes in sorted order until stable; the first witness
+// found for a lock wins, so reports do not wobble between equivalent paths.
+func (LockOrder) transitiveAcquires(cg *CallGraph, summaries map[*CGNode]*loSummary) map[*CGNode]map[string]loWitness {
+	acquired := make(map[*CGNode]map[string]loWitness)
+	for _, node := range cg.Nodes() {
+		m := make(map[string]loWitness)
+		for _, a := range summaries[node].acquires {
+			if _, ok := m[a.lock]; !ok {
+				m[a.lock] = loWitness{pos: a.pos}
+			}
+		}
+		acquired[node] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range cg.Nodes() {
+			m := acquired[node]
+			for _, e := range node.Edges {
+				callee := acquired[e.Callee]
+				keys := sortedKeys(callee)
+				for _, lock := range keys {
+					if _, ok := m[lock]; !ok {
+						m[lock] = loWitness{pos: e.Site, via: e.Callee, callPos: e.Site}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acquired
+}
+
+// lockGraph composes the per-function facts into global ordered-acquisition
+// edges. For each (held h, acquire L) pair — direct, or through a call whose
+// callee transitively acquires L — one deterministic witness edge h→L is
+// kept.
+func (LockOrder) lockGraph(cg *CallGraph, summaries map[*CGNode]*loSummary, acquired map[*CGNode]map[string]loWitness) (map[[2]string]*loEdge, []string) {
+	edges := make(map[[2]string]*loEdge)
+	keep := func(e *loEdge) {
+		k := [2]string{e.from, e.to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = e
+		}
+	}
+	for _, node := range cg.Nodes() {
+		sum := summaries[node]
+		for _, a := range sum.acquires {
+			for _, h := range sortedKeys2(a.held) {
+				if h == a.lock {
+					continue
+				}
+				keep(&loEdge{
+					from: h, to: a.lock, holder: node, holdPos: a.held[h],
+					site: a.pos, finalPos: a.pos, acquirer: node,
+				})
+			}
+		}
+		for _, c := range sum.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, e := range c.edges {
+				for _, lock := range sortedKeys(acquired[e.Callee]) {
+					// Walk the witness chain to the function whose body
+					// takes the lock.
+					chain := []*CGNode{e.Callee}
+					final := e.Callee
+					w := acquired[e.Callee][lock]
+					for w.via != nil {
+						final = w.via
+						chain = append(chain, w.via)
+						w = acquired[w.via][lock]
+					}
+					for _, h := range sortedKeys2(c.held) {
+						if h == lock {
+							continue
+						}
+						keep(&loEdge{
+							from: h, to: lock, holder: node, holdPos: c.held[h],
+							site: c.pos, chain: chain, finalPos: w.pos, acquirer: final,
+						})
+					}
+				}
+			}
+		}
+	}
+	var order []string
+	seen := make(map[string]bool)
+	for k := range edges {
+		for _, id := range []string{k[0], k[1]} {
+			if !seen[id] {
+				seen[id] = true
+				order = append(order, id)
+			}
+		}
+	}
+	sort.Strings(order)
+	return edges, order
+}
+
+// reportCycles finds strongly connected components of the lock graph and
+// reports one deterministic cycle per component, with every edge's
+// acquisition sites. Returns the set of locks inside reported cycles so the
+// cross-package report does not duplicate them.
+func (l LockOrder) reportCycles(mp *ModulePass, cg *CallGraph, edges map[[2]string]*loEdge, order []string) map[string]bool {
+	adj := make(map[string][]string)
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+	inCycle := make(map[string]bool)
+	for _, scc := range stronglyConnected(order, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := make(map[string]bool, len(scc))
+		for _, id := range scc {
+			inSCC[id] = true
+		}
+		cycle := walkCycle(scc[0], adj, inSCC)
+		for _, id := range cycle[:len(cycle)-1] {
+			inCycle[id] = true
+		}
+		var parts []string
+		var anchor token.Pos
+		for i := 0; i+1 < len(cycle); i++ {
+			e := edges[[2]string{cycle[i], cycle[i+1]}]
+			if i == 0 {
+				anchor = e.site
+			}
+			parts = append(parts, l.edgeDesc(mp, cg, e))
+		}
+		mp.Reportf(anchor,
+			"potential deadlock: lock-order cycle %s; %s; establish one global acquisition order or annotate the audited exception with //lint:allow lockorder",
+			strings.Join(shortLocks(cg, cycle), " → "), strings.Join(parts, "; "))
+	}
+	return inCycle
+}
+
+// reportCrossPackage reports acquire-while-holding edges whose holder and
+// acquirer live in different packages, skipping locks already reported in a
+// cycle.
+func (l LockOrder) reportCrossPackage(mp *ModulePass, cg *CallGraph, edges map[[2]string]*loEdge, order []string, inCycle map[string]bool) {
+	for _, from := range order {
+		for _, to := range order {
+			e := edges[[2]string{from, to}]
+			if e == nil || (inCycle[from] && inCycle[to]) {
+				continue
+			}
+			if e.holder.Pkg.Path == e.acquirer.Pkg.Path {
+				continue
+			}
+			mp.Reportf(e.site,
+				"cross-package lock chain: %s; nested acquisition across packages fixes a lock order other call paths may invert — keep the second acquisition package-local, or annotate the established order with //lint:allow lockorder",
+				l.edgeDesc(mp, cg, e))
+		}
+	}
+}
+
+// edgeDesc renders one lock-graph edge with both sites: where the held lock
+// was taken and where the second lock is acquired, via which call chain.
+func (l LockOrder) edgeDesc(mp *ModulePass, cg *CallGraph, e *loEdge) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (held since %s) while acquiring %s at %s",
+		cg.shortName(e.from), shortPos(mp.Fset, e.holdPos), cg.shortName(e.to), shortPos(mp.Fset, e.finalPos))
+	if len(e.chain) > 0 {
+		names := []string{cg.shortName(e.holder.Name)}
+		for _, n := range e.chain {
+			names = append(names, cg.shortName(n.Name))
+		}
+		fmt.Fprintf(&b, " via %s", strings.Join(names, " → "))
+	} else {
+		fmt.Fprintf(&b, " in %s", cg.shortName(e.holder.Name))
+	}
+	return b.String()
+}
+
+func shortLocks(cg *CallGraph, ids []string) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = cg.shortName(id)
+	}
+	return out
+}
+
+// shortPos renders a position as basename:line so messages stay
+// byte-deterministic across checkouts.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func sortedKeys(m map[string]loWitness) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stronglyConnected is an iterative Tarjan over the lock graph, visiting
+// roots and successors in sorted order so component order is deterministic.
+func stronglyConnected(order []string, adj map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// walkCycle extracts one deterministic cycle through start inside an SCC by
+// always following the smallest in-SCC successor; it terminates because
+// every node of a non-trivial SCC has an in-SCC successor.
+func walkCycle(start string, adj map[string][]string, inSCC map[string]bool) []string {
+	cycle := []string{start}
+	visited := map[string]bool{start: true}
+	cur := start
+	for {
+		nextHop := ""
+		for _, w := range adj[cur] {
+			if inSCC[w] {
+				nextHop = w
+				break
+			}
+		}
+		if nextHop == "" {
+			return cycle // unreachable for a non-trivial SCC; guards a stall
+		}
+		cycle = append(cycle, nextHop)
+		if nextHop == start {
+			return cycle
+		}
+		if visited[nextHop] {
+			// Closed a loop that does not pass through start; rotate to it.
+			for i, id := range cycle[:len(cycle)-1] {
+				if id == nextHop {
+					return cycle[i:]
+				}
+			}
+			return cycle
+		}
+		visited[nextHop] = true
+		cur = nextHop
+	}
+}
+
+// loWalker tracks held locks through one function body, mirroring
+// lockdiscipline's branch model, and records acquire/call events into the
+// node summary.
+type loWalker struct {
+	pass    *Pass
+	node    *CGNode
+	sum     *loSummary
+	edgesAt map[token.Pos][]CGEdge
+	held    map[string]token.Pos
+}
+
+func (w *loWalker) clone() *loWalker {
+	c := &loWalker{pass: w.pass, node: w.node, sum: w.sum, edgesAt: w.edgesAt,
+		held: make(map[string]token.Pos, len(w.held))}
+	for k, v := range w.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func (w *loWalker) snapshot() map[string]token.Pos {
+	s := make(map[string]token.Pos, len(w.held))
+	for k, v := range w.held {
+		s[k] = v
+	}
+	return s
+}
+
+func (w *loWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *loWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if sel, locked, ok := mutexLockOp(w.pass, s.X); ok {
+			key := lockKey(w.pass, w.node, sel.X)
+			if locked {
+				w.sum.acquires = append(w.sum.acquires, loAcquire{lock: key, pos: s.Pos(), held: w.snapshot()})
+				w.held[key] = s.Pos()
+			} else {
+				delete(w.held, key)
+			}
+			return
+		}
+		w.scanExpr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the body —
+		// already what the held set models. Other deferred calls run at
+		// return with an unknowable held set: record their transitive
+		// acquisitions (empty held) but no held-at-call pairs.
+		if _, _, ok := mutexLockOp(w.pass, s.Call); ok {
+			return
+		}
+		if edges := w.edgesAt[s.Call.Pos()]; len(edges) > 0 {
+			w.sum.calls = append(w.sum.calls, loCall{edges: edges, pos: s.Call.Pos(), held: map[string]token.Pos{}})
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a)
+		}
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan)
+		w.scanExpr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.scanExpr(s.Cond)
+		w.walkBranch(s.Body)
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.walkBranch(e)
+			case *ast.IfStmt:
+				w.walkStmt(e)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond)
+		}
+		w.walkBranch(s.Body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		w.walkBranch(s.Body)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				sub := w.clone()
+				sub.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag)
+		}
+		w.walkCaseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkCaseBodies(s.Body)
+	case *ast.GoStmt:
+		// The spawned call runs without the caller's locks; its transitive
+		// acquisitions still propagate (empty held).
+		if edges := w.edgesAt[s.Call.Pos()]; len(edges) > 0 {
+			w.sum.calls = append(w.sum.calls, loCall{edges: edges, pos: s.Call.Pos(), held: map[string]token.Pos{}})
+		}
+		for _, e := range s.Call.Args {
+			w.scanExpr(e)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.walkFuncLit(lit)
+		}
+	}
+}
+
+func (w *loWalker) walkCaseBodies(body *ast.BlockStmt) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			sub := w.clone()
+			sub.walkStmts(cc.Body)
+		}
+	}
+}
+
+// walkBranch mirrors lockdiscipline: a conditional block walks a copy of the
+// held set; unlocks performed by a falling-through branch propagate out.
+func (w *loWalker) walkBranch(body *ast.BlockStmt) {
+	sub := w.clone()
+	sub.walkStmts(body.List)
+	if terminates(body) {
+		return
+	}
+	for key := range w.held {
+		if _, still := sub.held[key]; !still {
+			delete(w.held, key)
+		}
+	}
+}
+
+// scanExpr records in-module calls inside an expression with the current
+// held set, and walks function literals with a fresh one.
+func (w *loWalker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkFuncLit(n)
+			return false
+		case *ast.CallExpr:
+			if edges := w.edgesAt[n.Pos()]; len(edges) > 0 {
+				w.sum.calls = append(w.sum.calls, loCall{edges: edges, pos: n.Pos(), held: w.snapshot()})
+			}
+		}
+		return true
+	})
+}
+
+// walkFuncLit walks a literal's body with an empty held set; its events are
+// recorded under the enclosing declared function (matching the call graph's
+// attribution).
+func (w *loWalker) walkFuncLit(lit *ast.FuncLit) {
+	sub := &loWalker{pass: w.pass, node: w.node, sum: w.sum, edgesAt: w.edgesAt, held: map[string]token.Pos{}}
+	sub.walkStmts(lit.Body.List)
+}
+
+// lockKey canonicalizes a mutex receiver expression to a module-wide lock
+// identity:
+//
+//   - struct fields key by declaring named type — "(pkg.Type).mu" — merging
+//     all instances;
+//   - an identifier whose type is a named struct embedding the mutex keys as
+//     "(pkg.Type).Mutex";
+//   - package-level variables key as "pkg.var";
+//   - function locals and unrecognized shapes key per function, which keeps
+//     them out of cross-function ordering claims.
+func lockKey(pass *Pass, node *CGNode, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if named := derefNamed(pass.TypeOf(e.X)); named != nil {
+			return "(" + qualifiedTypeName(named) + ")." + e.Sel.Name
+		}
+		return lockKey(pass, node, e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		if v, ok := pass.ObjectOf(e).(*types.Var); ok {
+			if named := derefNamed(v.Type()); named != nil && !isSyncLockType(named) {
+				return "(" + qualifiedTypeName(named) + ").Mutex"
+			}
+			if pass.Pkg != nil && v.Parent() == pass.Pkg.Scope() {
+				return pass.Path + "." + e.Name
+			}
+		}
+		return node.Name + "$" + e.Name
+	case *ast.UnaryExpr:
+		return lockKey(pass, node, e.X)
+	default:
+		return node.Name + "$" + types.ExprString(e)
+	}
+}
+
+// derefNamed unwraps pointers and returns the named type, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func qualifiedTypeName(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func isSyncLockType(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Nondet is the interprocedural nondeterminism taint checker. The
+// per-package determinism checker sees a wall-clock read only when it is
+// written inside a seed-reproducible package; a `time.Now()` hidden behind a
+// helper in an unrestricted package is invisible to it. Nondet closes that
+// hole: it marks nondeterminism sources wherever they occur in the module —
+// wall-clock reads, global math/rand state, `rand.New` with an opaque
+// source, process-environment reads (os.Environ/Getenv/LookupEnv), and map
+// ranges without the sorted-keys idiom — propagates "tainted" transitively
+// over the module call graph, and reports every call edge through which
+// taint enters the seed-reproducible set, with the full source→sink call
+// chain in the message so the finding is actionable without re-running the
+// analysis by hand.
+//
+// Sources already suppressed in place (a //lint:allow determinism or
+// //lint:allow nondet on the source line, e.g. the allocators'
+// reporting-only SolveTime measurements) do not taint: the suppression is an
+// audited statement that the value never feeds seed-reproducible results.
+// Findings are reported once per call site where taint crosses into the sink
+// set; chains wholly inside the sink set are not re-reported edge by edge.
+type Nondet struct {
+	// Sinks are the import-path prefixes of the seed-reproducible set
+	// (DefaultRegistry wires DeterministicPackages here).
+	Sinks []string
+}
+
+// Name implements ModuleChecker.
+func (Nondet) Name() string { return "nondet" }
+
+// Doc implements ModuleChecker.
+func (Nondet) Doc() string {
+	return "trace nondeterminism sources (wall clock, global rand, env, map order) through the call graph into seed-reproducible packages"
+}
+
+// ndSource is one direct nondeterminism source inside a function body.
+type ndSource struct {
+	desc string    // e.g. "time.Now", "os.Environ", "map range"
+	pos  token.Pos // the source expression's position
+}
+
+// ndTaint records how a function reaches a source: the next callee on the
+// shortest path and the ultimate source.
+type ndTaint struct {
+	src  ndSource
+	next *CGNode // nil when src is in this very function
+	dist int
+}
+
+// RunModule implements ModuleChecker.
+func (n Nondet) RunModule(mp *ModulePass) {
+	cg := mp.CallGraph()
+	taint := make(map[*CGNode]*ndTaint)
+
+	// Direct sources, in deterministic node order.
+	var queue []*CGNode
+	for _, node := range cg.Nodes() {
+		if src, ok := n.directSource(mp, node); ok {
+			taint[node] = &ndTaint{src: src}
+			queue = append(queue, node)
+		}
+	}
+
+	// Reverse adjacency for the BFS. Callers come out in deterministic order
+	// because nodes and their edges are sorted.
+	callers := make(map[*CGNode][]*CGNode)
+	for _, node := range cg.Nodes() {
+		for _, e := range node.Edges {
+			callers[e.Callee] = append(callers[e.Callee], node)
+		}
+	}
+
+	// Multi-source BFS: the first (shortest, deterministically tie-broken)
+	// path to a source wins.
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, c := range callers[u] {
+			if taint[c] != nil {
+				continue
+			}
+			taint[c] = &ndTaint{src: taint[u].src, next: u, dist: taint[u].dist + 1}
+			queue = append(queue, c)
+		}
+	}
+
+	// Report taint entering the sink set. Edges wholly inside the sink set
+	// are skipped: the entry edge in the callee's own package already
+	// reports the chain, so one fix (or one audited allow) clears it.
+	for _, node := range cg.Nodes() {
+		if !n.inSinks(node.Pkg.Path) {
+			continue
+		}
+		// Environment reads directly inside a sink function are reported
+		// here too: the per-package determinism checker does not cover them.
+		if t := taint[node]; t != nil && t.next == nil && strings.HasPrefix(t.src.desc, "os.") {
+			mp.Reportf(t.src.pos,
+				"%s reads the process environment in a seed-reproducible package; pass configuration in explicitly so runs are reproducible from their inputs",
+				t.src.desc)
+		}
+		reported := make(map[token.Pos]bool)
+		for _, e := range node.Edges {
+			if n.inSinks(e.Callee.Pkg.Path) || taint[e.Callee] == nil || reported[e.Site] {
+				continue
+			}
+			reported[e.Site] = true
+			mp.Reportf(e.Site,
+				"call chain reaches %s: %s; seed-reproducible packages must take time, randomness and iteration order from injected sources — fix the helper or annotate an audited exception with //lint:allow nondet",
+				taint[e.Callee].src.desc, n.chain(mp, cg, taint, node, e.Callee))
+		}
+	}
+}
+
+func (n Nondet) inSinks(pkgPath string) bool {
+	for _, pre := range n.Sinks {
+		if pkgPath == pre || strings.HasPrefix(pkgPath, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// chain renders the full sink→source call chain, ending with the source
+// expression's file:line (base name only, so reports are machine-independent
+// and byte-deterministic).
+func (n Nondet) chain(mp *ModulePass, cg *CallGraph, taint map[*CGNode]*ndTaint, sink, entry *CGNode) string {
+	var b strings.Builder
+	b.WriteString(cg.shortName(sink.Name))
+	for node := entry; node != nil; {
+		b.WriteString(" → ")
+		b.WriteString(cg.shortName(node.Name))
+		t := taint[node]
+		if t == nil {
+			break
+		}
+		if t.next == nil {
+			pos := mp.Fset.Position(t.src.pos)
+			fmt.Fprintf(&b, " → %s (%s:%d)", t.src.desc, filepath.Base(pos.Filename), pos.Line)
+			break
+		}
+		node = t.next
+	}
+	return b.String()
+}
+
+// directSource scans one function body for the earliest unsuppressed
+// nondeterminism source.
+func (n Nondet) directSource(mp *ModulePass, node *CGNode) (ndSource, bool) {
+	pass := mp.pass(node.Pkg)
+	var best ndSource
+	record := func(desc string, pos token.Pos) {
+		p := mp.Fset.Position(pos)
+		// A source already suppressed in place is an audited "never feeds
+		// results" statement and must not taint the whole graph.
+		if node.Pkg.directives.allows(p.Filename, p.Line, "determinism") ||
+			node.Pkg.directives.allows(p.Filename, p.Line, "nondet") {
+			return
+		}
+		if best.desc == "" || pos < best.pos {
+			best = ndSource{desc: desc, pos: pos}
+		}
+	}
+
+	ast.Inspect(node.Body, func(nd ast.Node) bool {
+		if call, ok := nd.(*ast.CallExpr); ok {
+			if desc, ok := sourceCall(pass, call); ok {
+				record(desc, call.Pos())
+			}
+		}
+		return true
+	})
+	n.scanMapRanges(pass, node.Body, record)
+	if best.desc == "" {
+		return ndSource{}, false
+	}
+	return best, true
+}
+
+// scanMapRanges finds map ranges without the sorted-keys idiom, tracking the
+// innermost enclosing function body so the idiom check looks at the right
+// scope (mirroring the per-package determinism checker).
+func (n Nondet) scanMapRanges(pass *Pass, body *ast.BlockStmt, record func(string, token.Pos)) {
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			n.scanMapRanges(pass, nd.Body, record)
+			return false
+		case *ast.RangeStmt:
+			t := pass.TypeOf(nd.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if !sortedKeysIdiom(pass, body, nd) {
+				record("map range", nd.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// sourceCall classifies a call expression as a direct nondeterminism source.
+func sourceCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		// Methods (injected *rand.Rand, time.Time.Sub, ...) are the
+		// instance's problem; instances are constructed from seeds.
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && wallClockFuncs[fn.Name()]:
+		return "time." + fn.Name(), true
+	case path == "os" && (fn.Name() == "Environ" || fn.Name() == "Getenv" || fn.Name() == "LookupEnv"):
+		return "os." + fn.Name(), true
+	case isRandPkg(path):
+		switch {
+		case seededSourceCtors[fn.Name()]:
+			return "", false
+		case fn.Name() == "New":
+			if !isSeededSourceCall(pass, call) {
+				return "unseeded rand.New", true
+			}
+			return "", false
+		default:
+			return pathBase(path) + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,35 @@
+// Package allowreason is the golden corpus for the allowreason checker:
+// every //lint:allow directive must carry a free-text reason after the check
+// list. The expectations here are computed by the test (a reasonless
+// directive cannot also carry a `// want` marker — the marker text would
+// become its reason), so this file just exercises both directive forms with
+// and without reasons.
+package allowreason
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+// trailing form, no reason: flagged.
+func bad() {
+	mayFail() //lint:allow errcheck
+}
+
+// standalone form, no reason: flagged.
+func alsoBad() {
+	//lint:allow errcheck
+	mayFail()
+}
+
+// naming allowreason in the check list does not self-suppress the hygiene
+// finding: a reasonless directive is flagged regardless.
+func sneaky() {
+	mayFail() //lint:allow errcheck,allowreason
+}
+
+// both forms with reasons: clean.
+func good() {
+	mayFail() //lint:allow errcheck corpus demo: best-effort cleanup
+	//lint:allow errcheck corpus demo: standalone form with a reason
+	mayFail()
+}

@@ -33,9 +33,23 @@ func handled(s store) error {
 	if err != nil {
 		return err
 	}
-	_ = s.flush()          // ok: explicit, visible discard
 	fmt.Println("running") // ok: callee outside the module
 	return errhelper.Do()
+}
+
+func blankDiscards(s store) int {
+	_ = s.flush()           // want errcheck
+	n, _ := valueAndError() // want errcheck
+	_, err := valueAndError()
+	if err != nil { // ok: the error result is kept, only the value is blank
+		return 0
+	}
+	_ = n // ok: pairwise blank of a non-call value
+	return n
+}
+
+func blankAllowed(s store) {
+	_ = s.flush() //lint:allow errcheck flush on a zero store cannot fail; discard keeps the demo linear
 }
 
 func allowAnnotated() {

@@ -1,0 +1,33 @@
+// Package lockhelper is the callee side of the cross-package lockorder
+// corpus: library types whose methods take their own lock. Acquiring these
+// while holding a caller-package lock fixes a cross-package lock order.
+package lockhelper
+
+import "sync"
+
+// Registry locks internally on every mutation.
+type Registry struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Put stores v under the registry's own lock.
+func (r *Registry) Put(v int) {
+	r.mu.Lock()
+	r.v = v
+	r.mu.Unlock()
+}
+
+// Journal is a second independently-locked type, used by the corpus'
+// suppressed (audited established-order) example.
+type Journal struct {
+	mu  sync.Mutex
+	log []int
+}
+
+// Append records v under the journal's own lock.
+func (j *Journal) Append(v int) {
+	j.mu.Lock()
+	j.log = append(j.log, v)
+	j.mu.Unlock()
+}

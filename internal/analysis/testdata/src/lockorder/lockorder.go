@@ -1,0 +1,48 @@
+// Package lockorder is the golden corpus for the lockorder checker's cycle
+// report: two locks acquired in opposite orders on two call paths, one of
+// them through a helper so only the interprocedural composition can see it.
+package lockorder
+
+import "sync"
+
+// A and B are the two lock-carrying types; every instance of a type shares
+// one lock-graph node.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// Pair holds both locks.
+type Pair struct {
+	a A
+	b B
+}
+
+// TransferAB establishes the order A → B. The cycle finding anchors at the
+// second acquisition: B taken while A is held.
+func (p *Pair) TransferAB() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.b.mu.Lock() // want lockorder
+	p.b.mu.Unlock()
+}
+
+// TransferBA establishes the inverse order B → A, hiding the second
+// acquisition behind a helper call.
+func (p *Pair) TransferBA() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	p.lockA()
+}
+
+func (p *Pair) lockA() {
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+}
+
+// Sequential takes the locks one after the other — no nesting, no edge.
+func (p *Pair) Sequential() {
+	p.b.mu.Lock()
+	p.b.mu.Unlock()
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+}

@@ -1,0 +1,46 @@
+// Package lockorderx is the caller side of the cross-package lockorder
+// corpus: it holds its own lock while calling into lockhelper, whose methods
+// take a second lock — the shape under which independently-developed packages
+// silently establish incompatible lock orders.
+package lockorderx
+
+import (
+	"sync"
+
+	"example.com/lintcheck/lockhelper"
+)
+
+// Coordinator nests lockhelper acquisitions under its own mutex.
+type Coordinator struct {
+	mu  sync.Mutex
+	reg *lockhelper.Registry
+	jrn *lockhelper.Journal
+	v   int
+}
+
+// Update holds the coordinator lock across a registry call that locks again
+// in another package.
+func (c *Coordinator) Update(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v = v
+	c.reg.Put(v) // want lockorder
+}
+
+// UpdateReleased drops the coordinator lock before calling out — no nesting,
+// no finding (false-positive guard).
+func (c *Coordinator) UpdateReleased(v int) {
+	c.mu.Lock()
+	c.v = v
+	c.mu.Unlock()
+	c.reg.Put(v)
+}
+
+// UpdateAudited shows the escape hatch: the established order is annotated
+// with its reason, so the nested journal acquisition stays quiet.
+func (c *Coordinator) UpdateAudited(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v = v
+	c.jrn.Append(v) //lint:allow lockorder corpus demo: established order Coordinator.mu → Journal.mu, journal lock is a leaf
+}

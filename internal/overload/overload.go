@@ -189,8 +189,12 @@ func (g *Guard) Instrument(r *telemetry.Registry) {
 	if g == nil {
 		return
 	}
+	// Resolve the counters before taking g.mu: NewOverloadCounters locks the
+	// registry, and holding g.mu across it would nest the guard's lock over
+	// telemetry's (flagged by the lockorder checker).
+	counters := telemetry.NewOverloadCounters(r)
 	g.mu.Lock()
-	g.counters = telemetry.NewOverloadCounters(r)
+	g.counters = counters
 	g.mu.Unlock()
 }
 

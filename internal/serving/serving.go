@@ -466,7 +466,7 @@ func (s *Server) applyPlan(plan *allocator.Allocation, initial bool) {
 	// Plans are produced for this server's own family set, so the shapes
 	// always agree; a mismatch would only indicate an internal bug and the
 	// plan is still applied.
-	_ = s.stats.SetPlanned(plan.ServedQPS)
+	_ = s.stats.SetPlanned(plan.ServedQPS) //lint:allow errcheck length mismatch impossible for self-produced plans; error would only flag an internal bug and the plan applies regardless
 	downCopy := append([]bool(nil), s.down...)
 	s.mu.Unlock()
 	var rerouted []liveQuery
@@ -551,6 +551,7 @@ func (s *Server) pickDevice(now time.Duration, q liveQuery) int {
 	d := s.table.PickExcluding(q.family, s.rng, func(dev int) bool {
 		return s.guard.Banned(q.family, dev)
 	})
+	//lint:allow lockorder established order Server.mu → Guard.mu (also liveWorker.mu → Guard.mu); Guard methods are leaf locks that never call back into serving
 	if d >= 0 && !s.guard.Admit(now, d, q.deadline) {
 		return -1
 	}

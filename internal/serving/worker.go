@@ -158,9 +158,9 @@ func (w *liveWorker) enqueue(q liveQuery) {
 	}
 	now := w.sys.now()
 	w.noteArrival(now)
-	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1)
+	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1) //lint:allow lockorder established order liveWorker.mu → Tracer.mu; the tracer's bounded ring lock is a leaf that never calls out
 	w.queue = append(w.queue, q)
-	w.syncDepthLocked()
+	w.syncDepthLocked() //lint:allow lockorder established order liveWorker.mu → Guard.mu (same direction as Server.mu → Guard.mu); Guard methods are leaf locks that never call back into serving
 	w.mu.Unlock()
 	w.wake()
 }
