@@ -7,6 +7,11 @@
 //
 //	proteus-report -dump run.json -o report.html
 //
+// Incident mode renders a flight-recorder incident bundle (written by
+// proteus-sim -incidents or proteusd -incident-dir) the same way:
+//
+//	proteus-report -incident incident-000001-slo_burn.json -o incident.html
+//
 // Compare mode diffs two proteus-benchjson baselines and fails (exit 1)
 // when any benchmark's ns/op regressed beyond the threshold:
 //
@@ -22,12 +27,14 @@ import (
 	"os"
 	"regexp"
 
+	"proteus/internal/flightrec"
 	"proteus/internal/report"
 )
 
 func main() {
 	var (
 		dumpPath  = flag.String("dump", "", "run dump JSON to render as HTML")
+		incPath   = flag.String("incident", "", "incident bundle JSON to render as HTML")
 		outPath   = flag.String("o", "report.html", "output path for the HTML report")
 		compare   = flag.Bool("compare", false, "compare two benchjson baselines: proteus-report -compare old.json new.json")
 		threshold = flag.Float64("threshold", 0.25, "relative ns/op growth that counts as a regression (0.25 = +25%)")
@@ -57,8 +64,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "proteus-report: %v\n", err)
 			os.Exit(1)
 		}
+	case *incPath != "":
+		if err := runIncident(*incPath, *outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "proteus-report: %v\n", err)
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "proteus-report: need -dump run.json or -compare old.json new.json")
+		fmt.Fprintln(os.Stderr, "proteus-report: need -dump run.json, -incident bundle.json, or -compare old.json new.json")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -70,6 +82,18 @@ func runReport(dumpPath, outPath string) error {
 		return err
 	}
 	if err := os.WriteFile(outPath, report.RenderHTML(d), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+func runIncident(incPath, outPath string) error {
+	b, err := flightrec.ReadBundleFile(incPath)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, report.RenderIncident(b), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)

@@ -25,6 +25,10 @@
 // (windowed percentiles, device utilization time-series, SLO burn log,
 // decision audit) and -report out.html renders it as a self-contained HTML
 // page (proteus-report renders the same from a saved dump); both are byte
+// identical across same-seed runs. -incidents DIR enables the black-box
+// flight recorder: every SLO burn start, overload degradation, allocator
+// fallback, and device failure snapshots the recent trace / counter /
+// time-series / plan state into DIR as an incident bundle JSON, also byte
 // identical across same-seed runs. The optional "slo" config block tunes
 // the burn monitor, e.g.
 //
@@ -219,6 +223,7 @@ func main() {
 		metricsOut = flag.String("metrics", "", "optional path for the final counter snapshot (text key-value)")
 		tsdbOut    = flag.String("tsdb", "", "optional path for the run dump JSON (windowed metrics, device time-series, SLO burn log, decision audit)")
 		reportOut  = flag.String("report", "", "optional path for the self-contained HTML run report")
+		incDir     = flag.String("incidents", "", "optional directory for flight-recorder incident bundles (enables the flight recorder)")
 	)
 	flag.Parse()
 	if *configPath == "" {
@@ -277,19 +282,21 @@ func main() {
 		}
 	}
 	var tracer *proteus.Tracer
-	if *traceOut != "" {
+	if *traceOut != "" || *incDir != "" {
 		tracer = proteus.NewTracer(0)
 	}
 	var registry *proteus.TelemetryRegistry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *incDir != "" {
 		registry = proteus.NewTelemetryRegistry()
 	}
 	var recorder *proteus.TSDBRecorder
 	burnRealloc := false
 	// The guard's degradation path is triggered by the burn monitor, so an
 	// enabled overload block forces a recorder even without -tsdb/-report.
+	// The flight recorder samples all three surfaces, so -incidents forces
+	// the tracer, registry, and recorder on too.
 	needRecorder := cfg.Overload != nil && cfg.Overload.Enabled && !cfg.Overload.DisableDegradation
-	if *tsdbOut != "" || *reportOut != "" || needRecorder {
+	if *tsdbOut != "" || *reportOut != "" || *incDir != "" || needRecorder {
 		var tc proteus.TSDBConfig
 		if s := cfg.SLO; s != nil {
 			sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
@@ -310,6 +317,13 @@ func main() {
 			maxRetries = -1 // explicit zero budget
 		}
 	}
+	var flight *proteus.FlightRecorder
+	if *incDir != "" {
+		if err := os.MkdirAll(*incDir, 0o755); err != nil {
+			fatal(err)
+		}
+		flight = proteus.NewFlightRecorder(proteus.FlightConfig{Dir: *incDir})
+	}
 	sys, err := proteus.NewSystem(proteus.SystemConfig{
 		Cluster:        cl,
 		Families:       fams,
@@ -321,6 +335,7 @@ func main() {
 		Tracer:         tracer,
 		Telemetry:      registry,
 		TSDB:           recorder,
+		Flight:         flight,
 		SLOBurnRealloc: burnRealloc,
 		Overload:       buildOverload(cfg.Overload),
 		MaxRetries:     maxRetries,
@@ -402,6 +417,12 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *reportOut)
 		}
+	}
+	if flight != nil {
+		if err := flight.WriteError(); err != nil {
+			fatal(fmt.Errorf("writing incident bundles: %w", err))
+		}
+		fmt.Printf("incidents: %d bundles in %s\n", len(flight.Incidents()), *incDir)
 	}
 }
 

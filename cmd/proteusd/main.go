@@ -9,7 +9,16 @@
 //	GET  /metrics                  counter/gauge snapshot (text key-value)
 //	GET  /healthz                  device health mask (503 when all down)
 //	GET  /debug/allocations        controller decision audit log (JSON)
+//	GET  /debug/incidents          retained flight-recorder incident bundles
+//	POST /debug/incident           trigger a manual incident bundle
 //	GET  /debug/pprof/             Go runtime profiles
+//
+// /metrics also speaks Prometheus text exposition format (0.0.4) under
+// content negotiation: an Accept header naming version=0.0.4 or
+// openmetrics, or ?format=prometheus, selects it. -incident-dir enables
+// the black-box flight recorder: SLO burn starts, overload degradations,
+// allocator fallbacks, device failures, and manual POSTs snapshot recent
+// observability state into incident bundle JSON files there.
 //
 // With -drive it also generates client load against itself for the given
 // duration and prints the resulting summary, exercising the full data path
@@ -58,6 +67,7 @@ func main() {
 		overloadOn = flag.Bool("overload", false, "enable the overload guard: deadline admission control, backpressure, emergency accuracy degradation")
 		metricsOut = flag.String("metrics-out", "", "write the final counter snapshot here on shutdown")
 		tsdbOut    = flag.String("tsdb-out", "", "write the final run dump JSON here on shutdown")
+		incDir     = flag.String("incident-dir", "", "enable the flight recorder and write incident bundles to this directory")
 	)
 	flag.Parse()
 
@@ -86,10 +96,23 @@ func main() {
 	}
 	registry := proteus.NewTelemetryRegistry()
 	var recorder *proteus.TSDBRecorder
-	if *tsdbOut != "" || *overloadOn {
+	if *tsdbOut != "" || *overloadOn || *incDir != "" {
 		// The guard's degradation path is triggered by the burn monitor, so
-		// -overload needs a recorder even when no dump was requested.
+		// -overload needs a recorder even when no dump was requested; the
+		// flight recorder samples it too.
 		recorder = proteus.NewTSDBRecorder(proteus.TSDBConfig{})
+	}
+	var tracer *proteus.Tracer
+	var flight *proteus.FlightRecorder
+	if *incDir != "" {
+		if err := os.MkdirAll(*incDir, 0o755); err != nil {
+			fatal(err)
+		}
+		// A bounded tracer feeds the bundle's trace tail; Live mode adds
+		// process runtime snapshots and allows pprof capture via
+		// POST /debug/incident?profile=cpu,heap.
+		tracer = proteus.NewTracer(1 << 16)
+		flight = proteus.NewFlightRecorder(proteus.FlightConfig{Dir: *incDir, Live: true})
 	}
 	var guard *proteus.OverloadConfig
 	if *overloadOn {
@@ -107,7 +130,9 @@ func main() {
 		ControlPeriod: *period,
 		InitialDemand: initial,
 		Telemetry:     registry,
+		Tracer:        tracer,
 		TSDB:          recorder,
+		Flight:        flight,
 		Overload:      guard,
 		MaxRetries:    mr,
 		Seed:          *seed,

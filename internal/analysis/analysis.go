@@ -251,6 +251,7 @@ var DeterministicPackages = []string{
 	"internal/allocator",
 	"internal/lp",
 	"internal/milp",
+	"internal/flightrec",
 	"internal/overload",
 	"internal/simulation",
 	"internal/tsdb",

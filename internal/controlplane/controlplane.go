@@ -177,6 +177,13 @@ type Controller struct {
 	// burn callback write concurrently.
 	mu      sync.Mutex
 	history []PlanRecord
+	// historyLimit bounds the audit log: once it holds this many records
+	// the oldest are dropped, so long live runs hold steady-state memory.
+	historyLimit int
+	// recordHook, when set, observes every appended audit record (the
+	// flight recorder's allocator-fallback trigger). Called after the
+	// history lock is released, so the hook may call History itself.
+	recordHook func(PlanRecord)
 	// pendingBurns buffers burn transitions until the next audit record
 	// drains them into its SLOBurns field; pendingOverloads does the same
 	// for overload-guard transitions.
@@ -202,6 +209,7 @@ func NewController(a allocator.Allocator, c *cluster.Cluster, families []models.
 		cluster:       c,
 		families:      families,
 		slos:          slos,
+		historyLimit:  DefaultHistoryLimit,
 	}
 	if a == nil || a.Name() != "infaas_v2" {
 		ctl.fallback = allocator.NewInfaasAccuracy()
@@ -355,6 +363,42 @@ func diffPlans(rec *PlanRecord, prev, next *allocator.Allocation) {
 	}
 }
 
+// DefaultHistoryLimit is the audit-log ring size when SetHistoryLimit is
+// never called: generous enough that a simulated run or a day of 30 s
+// control periods is fully retained, small enough to bound live memory.
+const DefaultHistoryLimit = 256
+
+// SetHistoryLimit resizes the audit-log ring (n <= 0 restores the
+// default). Existing records beyond the new bound are dropped oldest-first.
+func (c *Controller) SetHistoryLimit(n int) {
+	if n <= 0 {
+		n = DefaultHistoryLimit
+	}
+	c.mu.Lock()
+	c.historyLimit = n
+	if over := len(c.history) - n; over > 0 {
+		c.history = append(c.history[:0], c.history[over:]...)
+	}
+	c.mu.Unlock()
+}
+
+// HistoryLimit returns the audit-log ring's current bound.
+func (c *Controller) HistoryLimit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.historyLimit
+}
+
+// SetRecordHook installs fn to observe every appended audit record. The
+// hook runs on the control-loop goroutine after the history lock is
+// released (it receives the final record, burn and overload context
+// attached, and may safely call back into the controller).
+func (c *Controller) SetRecordHook(fn func(PlanRecord)) {
+	c.mu.Lock()
+	c.recordHook = fn
+	c.mu.Unlock()
+}
+
 // append adds a record to the audit log under the history lock, attaching
 // (and clearing) the burn transitions buffered since the last record.
 func (c *Controller) append(rec PlanRecord) {
@@ -368,7 +412,14 @@ func (c *Controller) append(rec PlanRecord) {
 		c.pendingOverloads = nil
 	}
 	c.history = append(c.history, rec)
+	if over := len(c.history) - c.historyLimit; over > 0 {
+		c.history = append(c.history[:0], c.history[over:]...)
+	}
+	hook := c.recordHook
 	c.mu.Unlock()
+	if hook != nil {
+		hook(rec)
+	}
 }
 
 // NoteBurn records an SLO burn-state transition for the next audit record.

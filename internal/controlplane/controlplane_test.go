@@ -142,3 +142,67 @@ func TestControllerDefaults(t *testing.T) {
 		t.Fatal("allocator accessor broken")
 	}
 }
+
+func TestHistoryRingBounded(t *testing.T) {
+	c, _ := fixture(t)
+	c.SetHistoryLimit(2)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Reallocate(time.Duration(i)*time.Second, []float64{20 + float64(i), 10}, "periodic"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := c.History()
+	if len(h) != 2 {
+		t.Fatalf("history length %d, want 2", len(h))
+	}
+	// The newest records survive, oldest first.
+	if h[0].At != 2*time.Second || h[1].At != 3*time.Second {
+		t.Fatalf("wrong records retained: at=%v,%v", h[0].At, h[1].At)
+	}
+}
+
+func TestSetHistoryLimitTrimsExisting(t *testing.T) {
+	c, _ := fixture(t)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Reallocate(time.Duration(i)*time.Second, []float64{20, 10}, "periodic"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetHistoryLimit(1)
+	h := c.History()
+	if len(h) != 1 || h[0].At != 2*time.Second {
+		t.Fatalf("trim kept %d records (at=%v), want newest only", len(h), h[0].At)
+	}
+	// Zero or negative restores the default.
+	c.SetHistoryLimit(0)
+	if got := c.HistoryLimit(); got != DefaultHistoryLimit {
+		t.Fatalf("limit after reset = %d, want %d", got, DefaultHistoryLimit)
+	}
+}
+
+// TestRecordHook asserts the hook fires once per plan record, after the
+// controller's lock is released — a hook that calls back into History must
+// not deadlock.
+func TestRecordHook(t *testing.T) {
+	c, _ := fixture(t)
+	var got []PlanRecord
+	c.SetRecordHook(func(rec PlanRecord) {
+		_ = c.History() // re-entrant read: must not deadlock
+		got = append(got, rec)
+	})
+	if _, err := c.Reallocate(0, []float64{20, 10}, "initial"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reallocate(10*time.Second, []float64{25, 10}, "periodic"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(got))
+	}
+	if got[0].Trigger != "initial" || got[1].Trigger != "periodic" {
+		t.Fatalf("hook records %q/%q", got[0].Trigger, got[1].Trigger)
+	}
+	if got[1].Stage != "primary" || len(got[1].HostedVariants) == 0 {
+		t.Fatalf("hook record incomplete: %+v", got[1])
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"proteus/internal/allocator"
 	"proteus/internal/batching"
 	"proteus/internal/cluster"
+	"proteus/internal/flightrec"
 	"proteus/internal/models"
 	"proteus/internal/overload"
 	"proteus/internal/profiles"
@@ -83,6 +84,16 @@ type Config struct {
 	// transitions are traced (slo_burn_start/slo_burn_end) and audited in
 	// the controller's PlanRecord history.
 	TSDB *tsdb.Recorder
+	// Flight, when non-nil, is the black-box flight recorder: it snapshots
+	// bounded rings of recent observability state into deterministic
+	// incident bundles on SLO-burn starts, overload degradations, allocator
+	// fallbacks and device failures. It ticks on the TSDB sampling cadence
+	// and snapshots the Tracer, Telemetry and TSDB components above, so it
+	// is most useful with those set too.
+	Flight *flightrec.Recorder
+	// PlanHistory bounds the controller's in-memory decision audit ring
+	// (records beyond the bound are dropped oldest-first). Default 256.
+	PlanHistory int
 	// SLOBurnRealloc lets an SLO burn start trigger an early re-allocation
 	// (subject to the burst cooldown). Off by default: the monitor then only
 	// observes and reports.

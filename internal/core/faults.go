@@ -21,6 +21,7 @@ func (s *System) failDevice(d int) {
 	s.collector.DeviceFailed(now)
 	s.tc.DevicesUp.Set(s.healthyCount())
 	stranded := s.workers[d].fail()
+	s.flight.Trigger(now, "device_failure", s.workers[d].dev.Name, -1, d)
 	s.rebuildTable()
 	for _, q := range stranded {
 		s.requeue(now, q)

@@ -7,6 +7,7 @@ import (
 	"proteus/internal/allocator"
 	"proteus/internal/cluster"
 	"proteus/internal/controlplane"
+	"proteus/internal/flightrec"
 	"proteus/internal/metrics"
 	"proteus/internal/models"
 	"proteus/internal/numeric"
@@ -45,6 +46,13 @@ type System struct {
 	tc       telemetry.SystemCounters
 	rc       telemetry.RouterCounters
 	recorder *tsdb.Recorder
+	flight   *flightrec.Recorder
+	// pendingBurns defers burn-start incident bundles until after the
+	// sampling tick that detected them has refreshed the flight recorder's
+	// rings, so a bundle always includes the burn's own second. Burn
+	// transitions only fire inside Recorder.Sample, which the event loop
+	// runs single-threaded, so no locking is needed.
+	pendingBurns []tsdb.BurnEvent
 
 	// Failure state: down[d] marks device d as failed; pendingFaultRetry
 	// tracks a fault-triggered re-allocation deferred by the cooldown, with
@@ -93,8 +101,30 @@ func NewSystem(cfg Config) (*System, error) {
 	s.controller = controlplane.NewController(
 		cfg.Allocator, cfg.Cluster, cfg.Families, s.slos, cfg.ControlPeriod, cfg.BurstCooldown)
 	s.controller.Instrument(cfg.Telemetry)
+	s.controller.SetHistoryLimit(cfg.PlanHistory)
 	s.recorder = cfg.TSDB
 	s.recorder.Init(len(cfg.Families), s.onBurn)
+	s.flight = cfg.Flight
+	s.flight.Init(flightrec.Sources{
+		Tracer:   cfg.Tracer,
+		Registry: cfg.Telemetry,
+		TSDB:     cfg.TSDB,
+		Plans:    s.controller.History,
+	})
+	if s.flight != nil {
+		// Any plan the primary allocator did not produce is an anomaly worth
+		// a bundle: the fallback chain stepped in or the solve failed.
+		s.controller.SetRecordHook(func(rec controlplane.PlanRecord) {
+			if rec.Stage == "primary" {
+				return
+			}
+			detail := fmt.Sprintf("stage=%s solver=%s", rec.Stage, rec.Solver)
+			if rec.Err != "" {
+				detail += " err=" + rec.Err
+			}
+			s.flight.Trigger(rec.At, "alloc_fallback", detail, -1, -1)
+		})
+	}
 	if cfg.Overload != nil {
 		s.guard = overload.New(*cfg.Overload, len(cfg.Families), cfg.Cluster.Size())
 		s.guard.Instrument(cfg.Telemetry)
@@ -201,6 +231,16 @@ func (s *System) RunArrivals(arrivals []trace.Arrival, duration time.Duration, i
 		}
 	}
 
+	// Flight-recorder ring refreshes normally ride the sampling events
+	// (sampleTSDB ticks the recorder after each sample); without a tsdb
+	// recorder they need their own 1s cadence for counter snapshots.
+	if s.flight != nil && s.recorder.SampleInterval() <= 0 {
+		for at := time.Second; at <= duration; at += time.Second {
+			at := at
+			s.engine.Schedule(at, func() { s.flight.Tick(at) })
+		}
+	}
+
 	// Overload-guard ticks on the virtual clock: escalation, deferred
 	// degrades and restores advance at a fixed 1s cadence (the live server
 	// runs the same guard off a wall-clock ticker).
@@ -263,6 +303,17 @@ func (s *System) sampleTSDB() {
 		}
 	}
 	s.recorder.Sample(now, states)
+	// Refresh the flight recorder's rings with this tick's state, then fire
+	// any burn-start bundles the sample just detected so they capture it.
+	if s.flight != nil {
+		s.flight.Tick(now)
+		for _, ev := range s.pendingBurns {
+			s.flight.Trigger(ev.At, "slo_burn",
+				fmt.Sprintf("family=%d short=%.2f long=%.2f", ev.Family, ev.ShortBurn, ev.LongBurn),
+				ev.Family, -1)
+		}
+		s.pendingBurns = s.pendingBurns[:0]
+	}
 }
 
 // onBurn receives SLO burn-state transitions from the tsdb recorder: they
@@ -286,6 +337,13 @@ func (s *System) onBurn(ev tsdb.BurnEvent) {
 	// never waiting for the next control period. The guard's lock is a leaf,
 	// so calling it under the recorder's lock is safe.
 	s.applyOverloadChanges(s.guard.OnBurn(ev.At, ev.Family, ev.Start))
+	// A burn's leading edge snapshots an incident bundle — deferred to just
+	// after the sampling tick completes (sampleTSDB flushes pendingBurns),
+	// both because Trigger must not run under the recorder's lock with a
+	// stale ring and so the bundle includes the burn's own second.
+	if ev.Start && s.flight != nil {
+		s.pendingBurns = append(s.pendingBurns, ev)
+	}
 	if ev.Start && s.cfg.SLOBurnRealloc && s.controller.Dynamic() && s.controller.AllowBurst(ev.At) {
 		s.reallocate("slo_burn")
 	}
@@ -353,6 +411,13 @@ func (s *System) applyOverloadChanges(changes []overload.Change) {
 			Level:  ch.Level,
 			Reason: ch.Reason,
 		})
+		// A degradation opening is the overload incident's leading edge;
+		// escalations and restores are just episode progress.
+		if ch.Kind == overload.Degrade {
+			s.flight.Trigger(ch.At, "overload",
+				fmt.Sprintf("family=%d level=%d reason=%s", ch.Family, ch.Level, ch.Reason),
+				ch.Family, -1)
+		}
 	}
 }
 
@@ -544,6 +609,7 @@ func (s *System) serveQuery(now time.Duration, q query, accuracy float64, device
 	s.collector.Served(now, q.family, accuracy, now-q.arrival)
 	s.tc.Served.Inc()
 	s.tracer.Record(now, telemetry.EvDone, q.id, q.family, device, batch)
+	s.recordPhases(now, q, device)
 }
 
 func (s *System) lateQuery(now time.Duration, q query, device, batch int) {
@@ -551,4 +617,17 @@ func (s *System) lateQuery(now time.Duration, q query, device, batch int) {
 	s.recorder.Violation(now, q.family)
 	s.tc.Late.Inc()
 	s.tracer.Record(now, telemetry.EvLate, q.id, q.family, device, batch)
+	s.recordPhases(now, q, device)
+}
+
+// recordPhases differences the query's lifecycle timestamps into per-phase
+// durations for the tsdb decomposition histograms. Response stays zero on
+// the virtual clock: completion and response delivery coincide.
+func (s *System) recordPhases(done time.Duration, q query, device int) {
+	s.recorder.RecordPhases(q.family, device, tsdb.PhaseDurations{
+		Admission: q.enqueueAt - q.arrival,
+		Queue:     q.formAt - q.enqueueAt,
+		BatchForm: q.execAt - q.formAt,
+		Exec:      done - q.execAt,
+	})
 }

@@ -20,6 +20,12 @@ type query struct {
 	// retries counts failure re-dispatches; a query is retried at most
 	// Config.MaxRetries times before being dropped.
 	retries int
+	// Phase-decomposition timestamps: stamped at device enqueue and batch
+	// formation, differenced into per-phase durations at completion. A
+	// requeue restamps enqueueAt, so admission absorbs the re-route wait.
+	enqueueAt time.Duration
+	formAt    time.Duration
+	execAt    time.Duration
 }
 
 // worker is one device: a queue, a batching policy and a (simulated)
@@ -141,6 +147,7 @@ func (w *worker) enqueue(q query) {
 	now := w.sys.engine.Now()
 	w.noteArrival(now)
 	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1)
+	q.enqueueAt = now
 	w.queue = append(w.queue, q)
 	w.syncDepth()
 	w.evaluate()
@@ -321,6 +328,12 @@ func (w *worker) execute(now time.Duration, b int) {
 	}
 	batch := make([]query, b)
 	copy(batch, w.queue[:b])
+	for i := range batch {
+		// Formation and execution start coincide in the simulator; the live
+		// worker stamps them the same way, so batch_form is ~0 by design.
+		batch[i].formAt = now
+		batch[i].execAt = now
+	}
 	w.queue = append(w.queue[:0], w.queue[b:]...)
 	w.syncDepth()
 

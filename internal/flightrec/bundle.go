@@ -1,0 +1,118 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"proteus/internal/controlplane"
+	"proteus/internal/telemetry"
+	"proteus/internal/tsdb"
+)
+
+// TraceEvent mirrors telemetry.Event with JSON tags matching the tracer's
+// JSONL export, so bundles and trace files read the same way.
+type TraceEvent struct {
+	AtUS   int64  `json:"at_us"`
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Query  uint64 `json:"query"`
+	Family int32  `json:"family"`
+	Device int32  `json:"device"`
+	Batch  int32  `json:"batch"`
+}
+
+func toTraceEvent(ev telemetry.Event) TraceEvent {
+	return TraceEvent{
+		AtUS:   ev.At.Microseconds(),
+		Seq:    ev.Seq,
+		Kind:   ev.Kind.String(),
+		Query:  ev.Query,
+		Family: ev.Family,
+		Device: ev.Device,
+		Batch:  ev.Batch,
+	}
+}
+
+// CounterSnap is one sampling tick's counter-registry snapshot.
+type CounterSnap struct {
+	AtNS    int64              `json:"at_ns"`
+	Metrics []telemetry.Metric `json:"metrics"`
+}
+
+// RuntimeSnap is one sampling tick's process runtime state (live mode
+// only — absent from simulator bundles so they stay deterministic).
+type RuntimeSnap struct {
+	AtNS           int64  `json:"at_ns"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	NumGC          uint32 `json:"num_gc"`
+	Goroutines     int    `json:"goroutines"`
+}
+
+// Bundle is one incident's atomic snapshot of the flight recorder's rings.
+// Field order is the JSON order; every section is a copy, so a bundle never
+// shares state with the recorder that produced it.
+type Bundle struct {
+	// ID names the bundle (and its file): "incident-<seq>-<reason>".
+	ID string `json:"id"`
+	// Seq is the 1-based trigger sequence number within the run.
+	Seq int `json:"seq"`
+	// AtNS is the trigger time: virtual in the simulator, duration since
+	// server start in live serving.
+	AtNS int64 `json:"at_ns"`
+	// Reason is "slo_burn", "overload", "alloc_fallback", "device_failure"
+	// or "manual"; Detail carries trigger-specific context.
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+	// Family / Device locate the trigger when applicable, else -1.
+	Family int `json:"family"`
+	Device int `json:"device"`
+
+	// TraceEvents is the tail of the tracer's ring at trigger time.
+	TraceEvents []TraceEvent `json:"trace_events,omitempty"`
+	// Counters are the per-tick registry snapshots leading up to the
+	// trigger, oldest first.
+	Counters []CounterSnap `json:"counters,omitempty"`
+	// Samples / Burns are the device time-series and SLO burn transitions
+	// captured through the last tick before the trigger.
+	Samples []tsdb.Sample    `json:"samples,omitempty"`
+	Burns   []tsdb.BurnEvent `json:"burns,omitempty"`
+	// Phases is the per-family / per-device latency decomposition summary
+	// as of the last tick.
+	Phases []tsdb.PhaseStat `json:"phases,omitempty"`
+	// Plans are the controller's newest audit records at trigger time, with
+	// solver wall times zeroed for determinism.
+	Plans []controlplane.PlanRecord `json:"plans,omitempty"`
+	// Runtime holds live-mode process snapshots (empty in the simulator).
+	Runtime []RuntimeSnap `json:"runtime,omitempty"`
+}
+
+// WriteJSON writes the bundle as indented JSON. Byte-deterministic: struct
+// fields serialize in declaration order and map keys sorted.
+func (b *Bundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteFile writes the bundle to path via a unique temp file renamed into
+// place, so concurrent triggers and readers never see a torn bundle.
+func (b *Bundle) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

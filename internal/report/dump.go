@@ -59,13 +59,16 @@ type FamilySummary struct {
 
 // Dump is the full serializable state of one run.
 type Dump struct {
-	Meta     Meta                      `json:"meta"`
-	Summary  metrics.Summary           `json:"summary"`
-	Families []FamilySummary           `json:"families,omitempty"`
-	Windows  []WindowPoint             `json:"windows,omitempty"`
-	Samples  []tsdb.Sample             `json:"samples,omitempty"`
-	Burns    []tsdb.BurnEvent          `json:"burns,omitempty"`
-	Plans    []controlplane.PlanRecord `json:"plans,omitempty"`
+	Meta     Meta             `json:"meta"`
+	Summary  metrics.Summary  `json:"summary"`
+	Families []FamilySummary  `json:"families,omitempty"`
+	Windows  []WindowPoint    `json:"windows,omitempty"`
+	Samples  []tsdb.Sample    `json:"samples,omitempty"`
+	Burns    []tsdb.BurnEvent `json:"burns,omitempty"`
+	// Phases is the per-family / per-device latency decomposition summary
+	// (empty when no tsdb recorder ran or no query completed).
+	Phases []tsdb.PhaseStat          `json:"phases,omitempty"`
+	Plans  []controlplane.PlanRecord `json:"plans,omitempty"`
 }
 
 // BuildInput names the sources a Dump is assembled from. Collector is
@@ -135,6 +138,7 @@ func Build(in BuildInput) *Dump {
 		d.Meta.SLOLongS = slo.LongWindow.Seconds()
 		d.Samples = in.Recorder.Samples()
 		d.Burns = in.Recorder.Burns()
+		d.Phases = in.Recorder.PhaseStats()
 	}
 	return d
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"proteus/internal/tsdb"
 )
 
 // RenderHTML turns a dump into one self-contained HTML page: inline SVG
@@ -46,6 +48,7 @@ svg{display:block;margin-top:8px}
 	renderLatencyChart(&sb, d)
 	renderUtilizationHeatmap(&sb, d)
 	renderFamilyTable(&sb, d)
+	renderPhaseSection(&sb, d)
 	renderBurnTable(&sb, d)
 	renderPlanTable(&sb, d)
 
@@ -268,6 +271,48 @@ func renderFamilyTable(sb *strings.Builder, d *Dump) {
 			s.P50Latency.Round(time.Millisecond), s.P99Latency.Round(time.Millisecond))
 	}
 	sb.WriteString("</table>\n")
+}
+
+// renderPhaseSection tabulates the per-family and per-device latency
+// decomposition: where a query's time goes between arrival and completion.
+func renderPhaseSection(sb *strings.Builder, d *Dump) {
+	famName := func(i int) string {
+		if i >= 0 && i < len(d.Families) {
+			return d.Families[i].Name
+		}
+		return fmt.Sprintf("family %d", i)
+	}
+	devName := func(i int) string {
+		if i >= 0 && i < len(d.Meta.Devices) {
+			return d.Meta.Devices[i]
+		}
+		return fmt.Sprintf("device %d", i)
+	}
+	renderPhaseTable(sb, d.Phases, famName, devName)
+}
+
+// renderPhaseTable writes the "Phase decomposition" section shared by run
+// reports and incident pages. A no-op when there are no phase stats.
+func renderPhaseTable(sb *strings.Builder, phases []tsdb.PhaseStat, famName, devName func(int) string) {
+	if len(phases) == 0 {
+		return
+	}
+	sb.WriteString("<h2>Phase decomposition</h2>\n<table>\n<tr><th>scope</th><th>phase</th><th>count</th><th>mean ms</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th><th>max ms</th></tr>\n")
+	for _, ps := range phases {
+		name := devName(ps.Index)
+		if ps.Scope == "family" {
+			name = famName(ps.Index)
+		}
+		fmt.Fprintf(sb, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			escape(name), escape(ps.Phase), ps.Count,
+			usMS(ps.MeanUS), usMS(ps.P50US), usMS(ps.P95US), usMS(ps.P99US), usMS(ps.MaxUS))
+	}
+	sb.WriteString("</table>\n")
+}
+
+// usMS formats integer microseconds as compact milliseconds.
+func usMS(us int64) string {
+	return trimF(float64(us) / 1e3)
 }
 
 func renderBurnTable(sb *strings.Builder, d *Dump) {

@@ -67,6 +67,7 @@ func (s *Server) failDevice(d int) {
 	s.mu.Unlock()
 	s.tc.DevicesUp.Set(up)
 	stranded := s.workers[d].fail()
+	s.flight.Trigger(now, "device_failure", s.cfg.Cluster.Device(d).Name, -1, d)
 	s.rebuildTable()
 	for _, q := range stranded {
 		s.redispatch(q)

@@ -13,6 +13,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
+	rpprof "runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +25,7 @@ import (
 	"proteus/internal/batching"
 	"proteus/internal/cluster"
 	"proteus/internal/controlplane"
+	"proteus/internal/flightrec"
 	"proteus/internal/metrics"
 	"proteus/internal/models"
 	"proteus/internal/numeric"
@@ -67,6 +72,15 @@ type Config struct {
 	// wall-clock ticker and runs the sliding-window SLO burn monitor —
 	// the same recorder the simulator drives off its virtual clock.
 	TSDB *tsdb.Recorder
+	// Flight, when non-nil, is the black-box flight recorder: bounded rings
+	// of recent state refreshed on the sampling tick, snapshotted into
+	// incident bundles on SLO burns, overload degradations, allocator
+	// fallbacks, device failures and POST /debug/incident. Build it with
+	// Live set so bundles include heap/GC/goroutine snapshots.
+	Flight *flightrec.Recorder
+	// PlanHistory bounds the controller's in-memory decision audit ring
+	// (records beyond the bound are dropped oldest-first). Default 256.
+	PlanHistory int
 	// SLOBurnRealloc lets an SLO burn start trigger an early re-allocation
 	// (subject to the controller cooldown). Off by default.
 	SLOBurnRealloc bool
@@ -177,13 +191,19 @@ type Server struct {
 	// Telemetry: the registry backs /metrics; the tracer (possibly nil) and
 	// counter bundles instrument the data path. nextID/nextBatch assign
 	// trace identities without taking mu.
-	registry  *telemetry.Registry
-	tracer    *telemetry.Tracer
-	recorder  *tsdb.Recorder
-	tc        telemetry.SystemCounters
-	rc        telemetry.RouterCounters
-	nextID    atomic.Uint64
-	nextBatch atomic.Int64
+	registry *telemetry.Registry
+	tracer   *telemetry.Tracer
+	recorder *tsdb.Recorder
+	flight   *flightrec.Recorder
+	// pendingBurns defers burn-start incident bundles until the sampling
+	// tick that detected them refreshes the flight recorder. Only touched
+	// on the sampleLoop goroutine (burn transitions fire inside
+	// Recorder.Sample), so it needs no lock.
+	pendingBurns []tsdb.BurnEvent
+	tc           telemetry.SystemCounters
+	rc           telemetry.RouterCounters
+	nextID       atomic.Uint64
+	nextBatch    atomic.Int64
 
 	// draining refuses new queries while in-flight ones (counted by
 	// inflight) finish — the graceful-shutdown half of overload protection.
@@ -225,8 +245,31 @@ func NewServer(cfg Config) (*Server, error) {
 	s.controller = controlplane.NewController(
 		cfg.Allocator, cfg.Cluster, cfg.Families, s.slos, cfg.ControlPeriod, cfg.ControlPeriod/3)
 	s.controller.Instrument(cfg.Telemetry)
+	s.controller.SetHistoryLimit(cfg.PlanHistory)
 	s.recorder = cfg.TSDB
 	s.recorder.Init(len(cfg.Families), s.onBurn)
+	s.flight = cfg.Flight
+	s.flight.Init(flightrec.Sources{
+		Tracer:   cfg.Tracer,
+		Registry: cfg.Telemetry,
+		TSDB:     cfg.TSDB,
+		Plans:    s.controller.History,
+	})
+	if s.flight != nil {
+		// Any plan the primary allocator did not produce is an anomaly worth
+		// a bundle: the fallback chain stepped in or the solve failed. The
+		// hook runs on the control loop after the history lock is released.
+		s.controller.SetRecordHook(func(rec controlplane.PlanRecord) {
+			if rec.Stage == "primary" {
+				return
+			}
+			detail := fmt.Sprintf("stage=%s solver=%s", rec.Stage, rec.Solver)
+			if rec.Err != "" {
+				detail += " err=" + rec.Err
+			}
+			s.flight.Trigger(rec.At, "alloc_fallback", detail, -1, -1)
+		})
+	}
 	if cfg.Overload != nil {
 		s.guard = overload.New(*cfg.Overload, len(cfg.Families), cfg.Cluster.Size())
 		s.guard.Instrument(cfg.Telemetry)
@@ -256,7 +299,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.controlLoop()
-	if s.recorder != nil {
+	if s.recorder != nil || s.flight != nil {
 		s.wg.Add(1)
 		go s.sampleLoop()
 	}
@@ -325,10 +368,18 @@ func (s *Server) controlLoop() {
 }
 
 // sampleLoop drives the tsdb recorder off a wall-clock ticker: the same
-// per-device snapshot the simulator takes on its virtual clock.
+// per-device snapshot the simulator takes on its virtual clock. The flight
+// recorder's ring refresh rides the same tick, after the sample so it sees
+// the fresh point.
 func (s *Server) sampleLoop() {
 	defer s.wg.Done()
-	ticker := time.NewTicker(s.recorder.SampleInterval())
+	interval := s.recorder.SampleInterval()
+	if interval <= 0 {
+		// Flight recorder without a tsdb recorder: tick at the default
+		// sampling cadence.
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -336,12 +387,23 @@ func (s *Server) sampleLoop() {
 			return
 		case <-ticker.C:
 			now := s.now()
-			states := make([]tsdb.DeviceState, len(s.workers))
-			for d, w := range s.workers {
-				states[d] = w.deviceState()
-				states[d].SatMilli, states[d].Pressured = s.guard.DeviceSignal(d)
+			if s.recorder != nil {
+				states := make([]tsdb.DeviceState, len(s.workers))
+				for d, w := range s.workers {
+					states[d] = w.deviceState()
+					states[d].SatMilli, states[d].Pressured = s.guard.DeviceSignal(d)
+				}
+				s.recorder.Sample(now, states)
 			}
-			s.recorder.Sample(now, states)
+			s.flight.Tick(now)
+			// Fire burn-start bundles the sample just detected, now that the
+			// tick has pulled the burn's own second into the rings.
+			for _, ev := range s.pendingBurns {
+				s.flight.Trigger(ev.At, "slo_burn",
+					fmt.Sprintf("family=%d short=%.2f long=%.2f", ev.Family, ev.ShortBurn, ev.LongBurn),
+					ev.Family, -1)
+			}
+			s.pendingBurns = s.pendingBurns[:0]
 		}
 	}
 }
@@ -368,6 +430,13 @@ func (s *Server) onBurn(ev tsdb.BurnEvent) {
 	// never waiting for the next control period. The guard's lock is a leaf,
 	// so calling it under the recorder's lock is safe.
 	s.applyOverloadChanges(s.guard.OnBurn(ev.At, ev.Family, ev.Start))
+	// A burn's leading edge snapshots an incident bundle — deferred until
+	// the sampling tick that detected it has refreshed the flight
+	// recorder's rings (burn transitions only fire inside Recorder.Sample,
+	// so this always runs on the sampleLoop goroutine).
+	if ev.Start && s.flight != nil {
+		s.pendingBurns = append(s.pendingBurns, ev)
+	}
 	if ev.Start && s.cfg.SLOBurnRealloc {
 		s.requestRealloc("slo_burn")
 	}
@@ -407,6 +476,13 @@ func (s *Server) applyOverloadChanges(changes []overload.Change) {
 			Level:  ch.Level,
 			Reason: ch.Reason,
 		})
+		// A degradation opening is the overload incident's leading edge;
+		// escalations and restores are just episode progress.
+		if ch.Kind == overload.Degrade {
+			s.flight.Trigger(ch.At, "overload",
+				fmt.Sprintf("family=%d level=%d reason=%s", ch.Family, ch.Level, ch.Reason),
+				ch.Family, -1)
+		}
 	}
 }
 
@@ -639,6 +715,15 @@ func (s *Server) recordCompletion(q liveQuery, variant string, accuracy float64,
 		s.tracer.Record(now, telemetry.EvLate, q.id, q.family, device, batch)
 		s.recorder.Violation(now, q.family)
 	}
+	// Per-phase latency decomposition: difference the lifecycle timestamps
+	// stamped at enqueue and batch formation. Negative skews (the stamps
+	// come from different wall-clock reads) clamp to zero in the recorder.
+	s.recorder.RecordPhases(q.family, device, tsdb.PhaseDurations{
+		Admission: q.enqueueAt - q.arrival,
+		Queue:     q.formAt - q.enqueueAt,
+		BatchForm: q.execAt - q.formAt,
+		Exec:      now - q.execAt,
+	})
 	s.mu.Lock()
 	if served {
 		s.collector.Served(now, q.family, accuracy, latency)
@@ -733,10 +818,18 @@ func (s *Server) Health() Health {
 //	GET  /v1/stats              → metrics.Summary JSON
 //	GET  /v1/allocation         → device → variant JSON
 //	GET  /v1/families           → registered family names
-//	GET  /metrics               → counters/gauges, text "name value" lines
+//	GET  /metrics               → counters/gauges, text "name value" lines;
+//	                              Prometheus text exposition (# HELP/# TYPE)
+//	                              when the Accept header asks for version
+//	                              0.0.4 / OpenMetrics or ?format=prometheus
 //	GET  /healthz               → device health mask JSON (503 when no
 //	                              device is up)
 //	GET  /debug/allocations     → controller decision audit log JSON
+//	GET  /debug/incidents       → flight recorder's incident bundles JSON
+//	POST /debug/incident        → trigger a manual incident bundle; with
+//	                              ?profile=cpu,heap also capture pprof
+//	                              profiles next to the bundle (live mode,
+//	                              needs an incident directory)
 //	GET  /debug/pprof/...       → net/http/pprof profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -766,6 +859,15 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, models.FamilyNames(s.cfg.Families))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+			fmt.Fprintf(w, "# HELP uptime_seconds Seconds since server start.\n# TYPE uptime_seconds gauge\nuptime_seconds %d\n",
+				int64(s.now()/time.Second))
+			if err := s.registry.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "uptime_seconds %d\n", int64(s.now()/time.Second))
 		if err := s.registry.WriteText(w); err != nil {
@@ -785,12 +887,94 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/allocations", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.History())
 	})
+	mux.HandleFunc("/debug/incidents", func(w http.ResponseWriter, r *http.Request) {
+		list := s.flight.Incidents()
+		if list == nil {
+			list = []*flightrec.Bundle{}
+		}
+		writeJSON(w, list)
+	})
+	mux.HandleFunc("/debug/incident", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if s.flight == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotImplemented)
+			return
+		}
+		b := s.flight.Trigger(s.now(), "manual", r.URL.Query().Get("detail"), -1, -1)
+		if kinds := r.URL.Query().Get("profile"); kinds != "" {
+			if err := s.captureProfiles(b.ID, kinds); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		writeJSON(w, b)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// wantsPrometheus decides the /metrics representation: the Prometheus text
+// exposition format when the scraper asks for it (the standard Accept
+// header carries "version=0.0.4"; OpenMetrics scrapers are close enough to
+// honor too) or via ?format=prometheus, the legacy plain lines otherwise.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") || strings.Contains(accept, "openmetrics")
+}
+
+// captureProfiles writes pprof captures next to the incident bundle —
+// <id>-cpu.pprof (a 500ms sample) and/or <id>-heap.pprof. This lives in the
+// serving layer, not flightrec: CPU profiling needs a wall-clock sampling
+// window, and the bundle core stays byte-deterministic without it.
+func (s *Server) captureProfiles(id, kinds string) error {
+	dir := s.flight.Dir()
+	if dir == "" {
+		return fmt.Errorf("profile capture needs an incident directory (-incident-dir)")
+	}
+	for _, kind := range strings.Split(kinds, ",") {
+		switch strings.TrimSpace(kind) {
+		case "cpu":
+			f, err := os.Create(filepath.Join(dir, id+"-cpu.pprof"))
+			if err != nil {
+				return err
+			}
+			if err := rpprof.StartCPUProfile(f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			time.Sleep(500 * time.Millisecond)
+			rpprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				return err
+			}
+		case "heap":
+			f, err := os.Create(filepath.Join(dir, id+"-heap.pprof"))
+			if err != nil {
+				return err
+			}
+			if err := rpprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		case "":
+		default:
+			return fmt.Errorf("unknown profile kind %q (want cpu, heap)", kind)
+		}
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -24,7 +24,13 @@ type liveQuery struct {
 	// retries counts failure re-dispatches; a query is retried at most
 	// Config.MaxRetries times before being dropped.
 	retries int
-	done    chan Response
+	// Phase-decomposition timestamps: stamped at device enqueue and batch
+	// formation, differenced into per-phase durations at completion. A
+	// redispatch restamps enqueueAt, so admission absorbs the re-route wait.
+	enqueueAt time.Duration
+	formAt    time.Duration
+	execAt    time.Duration
+	done      chan Response
 }
 
 // liveWorker is the wall-clock counterpart of core's worker: a goroutine
@@ -159,6 +165,7 @@ func (w *liveWorker) enqueue(q liveQuery) {
 	now := w.sys.now()
 	w.noteArrival(now)
 	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1) //lint:allow lockorder established order liveWorker.mu → Tracer.mu; the tracer's bounded ring lock is a leaf that never calls out
+	q.enqueueAt = now
 	w.queue = append(w.queue, q)
 	w.syncDepthLocked() //lint:allow lockorder established order liveWorker.mu → Guard.mu (same direction as Server.mu → Guard.mu); Guard methods are leaf locks that never call back into serving
 	w.mu.Unlock()
@@ -398,8 +405,15 @@ func (w *liveWorker) executeBatch(hosted allocator.VariantRef, batch []liveQuery
 	batchID := int(w.sys.nextBatch.Add(1) - 1)
 	w.sys.tc.Batches.Inc()
 	w.sys.tc.BatchQueries.Add(int64(len(batch)))
+	formed := w.sys.now()
+	for i := range batch {
+		// Formation and execution start coincide here (the executor starts
+		// immediately), so batch_form is ~0 by design — matching the
+		// simulator's decomposition.
+		batch[i].formAt = formed
+		batch[i].execAt = formed
+	}
 	if w.sys.tracer != nil {
-		formed := w.sys.now()
 		for _, q := range batch {
 			w.sys.tracer.Record(formed, telemetry.EvBatchFormed, q.id, q.family, w.dev.ID, batchID)
 			w.sys.tracer.Record(formed, telemetry.EvExecStart, q.id, q.family, w.dev.ID, batchID)

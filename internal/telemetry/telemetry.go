@@ -88,6 +88,8 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	// help holds per-registry Prometheus help-text overrides (SetHelp).
+	help map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -148,12 +150,22 @@ func (r *Registry) Snapshot() []Metric {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
-	for name, c := range r.counters {
-		out = append(out, Metric{Name: name, Value: c.Value(), Kind: "counter"})
+	cnames := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		cnames = append(cnames, name)
 	}
-	for name, g := range r.gauges {
-		out = append(out, Metric{Name: name, Value: g.Value(), Kind: "gauge"})
+	sort.Strings(cnames)
+	gnames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	out := make([]Metric, 0, len(cnames)+len(gnames))
+	for _, name := range cnames {
+		out = append(out, Metric{Name: name, Value: r.counters[name].Value(), Kind: "counter"})
+	}
+	for _, name := range gnames {
+		out = append(out, Metric{Name: name, Value: r.gauges[name].Value(), Kind: "gauge"})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -164,6 +176,88 @@ func (r *Registry) Snapshot() []Metric {
 func (r *Registry) WriteText(w io.Writer) error {
 	for _, m := range r.Snapshot() {
 		if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusContentType is the content type of the Prometheus text
+// exposition format (version 0.0.4) emitted by WritePrometheus.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// standardHelp documents the canonical metric names registered by the
+// counter bundles below; WritePrometheus emits them as # HELP lines.
+// Registry.SetHelp overrides or extends this set per registry.
+var standardHelp = map[string]string{
+	"queries_arrived_total":       "Queries that arrived at the load balancer.",
+	"queries_served_total":        "Queries completed within their SLO.",
+	"queries_late_total":          "Queries completed after their deadline.",
+	"queries_dropped_total":       "Queries dropped (shed, expired, or out of retries).",
+	"queries_requeued_total":      "Queries stranded by a device failure and returned to the router.",
+	"queries_retried_total":       "Stranded queries re-dispatched to a surviving replica.",
+	"batches_executed_total":      "Batches executed across all devices.",
+	"batch_queries_total":         "Queries executed inside batches.",
+	"model_loads_total":           "Model-variant load events across devices.",
+	"batching_execute_total":      "Batching-policy decisions to execute now.",
+	"batching_wait_total":         "Batching-policy decisions to wait for a larger batch.",
+	"batching_idle_total":         "Batching-policy decisions with nothing to do.",
+	"batching_drop_total":         "Queries dropped by batching-policy decision.",
+	"devices_up":                  "Devices currently healthy.",
+	"plan_demand_scale_milli":     "Demand scale of the live plan, in thousandths.",
+	"router_picks_total":          "Queries routed to a device.",
+	"router_shed_total":           "Queries the routing table refused.",
+	"overload_admitted_total":     "Queries that passed deadline admission control.",
+	"overload_rejected_total":     "Queries shed on arrival as provably late.",
+	"overload_backpressure_total": "High-water-mark backpressure engagements.",
+	"overload_degraded_total":     "Emergency accuracy degradations opened.",
+	"overload_escalated_total":    "Emergency degradations escalated one tier.",
+	"overload_restored_total":     "Planned routings restored after degradation.",
+	"reallocations_total":         "Successfully produced allocation plans.",
+	"realloc_fallback_total":      "Plans produced by the fallback allocator.",
+	"realloc_carry_forward_total": "Last-resort projections of the previous plan.",
+	"realloc_failed_total":        "Re-allocation attempts where every stage errored.",
+}
+
+// SetHelp registers Prometheus help text for a metric name (overriding the
+// standard set). No-op on a nil registry.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
+}
+
+func (r *Registry) helpFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.help[name]; ok {
+		return h
+	}
+	return standardHelp[name]
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): a # HELP line where help text is known, a # TYPE
+// line, then the sample. Metric names are already exposition-safe
+// ([a-z_]+); values are untyped integers. Serve it with
+// PrometheusContentType so standard scrapers parse it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, m := range r.Snapshot() {
+		if h := r.helpFor(m.Name); h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.Name, m.Kind, m.Name, m.Value); err != nil {
 			return err
 		}
 	}

@@ -284,3 +284,54 @@ func TestCounterBundles(t *testing.T) {
 		}
 	}
 }
+
+func TestWritePrometheus(t *testing.T) {
+	var nilReg *Registry
+	var nilBuf bytes.Buffer
+	if err := nilReg.WritePrometheus(&nilBuf); err != nil || nilBuf.Len() != 0 {
+		t.Fatalf("nil registry: err=%v len=%d", err, nilBuf.Len())
+	}
+
+	r := NewRegistry()
+	r.Counter("queries_arrived_total").Add(7)
+	r.Gauge("devices_up").Set(4)
+	r.Counter("zz_custom_total").Inc()
+	r.SetHelp("zz_custom_total", "A custom metric.")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Canonical metrics get # HELP from the standard table; every metric
+	// gets # TYPE with its kind; values follow on their own line.
+	for _, w := range []string{
+		"# HELP queries_arrived_total ",
+		"# TYPE queries_arrived_total counter\nqueries_arrived_total 7\n",
+		"# TYPE devices_up gauge\ndevices_up 4\n",
+		"# HELP zz_custom_total A custom metric.\n# TYPE zz_custom_total counter\nzz_custom_total 1\n",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("prometheus output missing %q:\n%s", w, out)
+		}
+	}
+	// Metrics appear sorted by name, and every non-comment line is
+	// "name value".
+	var prev string
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if prev != "" && name < prev {
+			t.Fatalf("metrics out of order: %q after %q", name, prev)
+		}
+		prev = name
+	}
+	if PrometheusContentType != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", PrometheusContentType)
+	}
+}

@@ -1,0 +1,152 @@
+package tsdb
+
+import "time"
+
+// Phase identifies one segment of a query's end-to-end latency. The hosting
+// engine timestamps the query's lifecycle transitions (arrival, device
+// enqueue, batch formation, execution start, completion) and differences
+// them into one duration per phase at completion time, so attribution costs
+// a handful of subtractions per query instead of a trace-log scan.
+type Phase uint8
+
+const (
+	// PhaseAdmission is arrival → device enqueue: routing, admission
+	// control, and any requeue wait after a device failure or model change.
+	PhaseAdmission Phase = iota
+	// PhaseQueue is device enqueue → batch formation: time spent waiting in
+	// the device queue for the batching policy to act.
+	PhaseQueue
+	// PhaseBatchForm is batch formation → execution start.
+	PhaseBatchForm
+	// PhaseExec is execution start → completion: the batch's model latency.
+	PhaseExec
+	// PhaseResponse is completion → response delivery (zero on the
+	// simulator's virtual clock, where the two coincide).
+	PhaseResponse
+
+	// NumPhases is the number of decomposition phases.
+	NumPhases = int(PhaseResponse) + 1
+)
+
+var phaseNames = [NumPhases]string{
+	"admission", "queue", "batch_form", "exec", "response",
+}
+
+// String returns the phase's wire name ("admission", "queue", ...).
+func (p Phase) String() string {
+	if int(p) < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// PhaseDurations is one completed query's latency decomposition. Phases the
+// engine cannot attribute stay zero and still count one observation, so
+// per-phase counts agree across phases.
+type PhaseDurations struct {
+	Admission time.Duration
+	Queue     time.Duration
+	BatchForm time.Duration
+	Exec      time.Duration
+	Response  time.Duration
+}
+
+func (pd PhaseDurations) get(p Phase) time.Duration {
+	switch p {
+	case PhaseAdmission:
+		return pd.Admission
+	case PhaseQueue:
+		return pd.Queue
+	case PhaseBatchForm:
+		return pd.BatchForm
+	case PhaseExec:
+		return pd.Exec
+	default:
+		return pd.Response
+	}
+}
+
+// phaseSet is one scope's (family's or device's) per-phase histograms.
+type phaseSet [NumPhases]Histogram
+
+func (ps *phaseSet) record(pd PhaseDurations) {
+	for p := 0; p < NumPhases; p++ {
+		d := pd.get(Phase(p))
+		if d < 0 {
+			d = 0
+		}
+		ps[p].RecordDuration(d)
+	}
+}
+
+// RecordPhases folds one completed query's decomposition into the
+// per-family and per-device phase histograms. Negative durations (clock
+// skew on the live path) clamp to zero. Out-of-range family indices are
+// ignored; device histograms grow on demand so elastic clusters work.
+func (r *Recorder) RecordPhases(family, device int, pd PhaseDurations) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if family >= 0 && family < len(r.phaseFam) {
+		r.phaseFam[family].record(pd)
+	}
+	if device >= 0 && device < 1<<16 {
+		for len(r.phaseDev) <= device {
+			r.phaseDev = append(r.phaseDev, phaseSet{})
+		}
+		r.phaseDev[device].record(pd)
+	}
+}
+
+// PhaseStat is one (scope, index, phase) row of the decomposition summary.
+// Durations are integer microseconds so same-seed dumps stay byte-identical.
+type PhaseStat struct {
+	// Scope is "family" or "device"; Index is the family or device index.
+	Scope  string `json:"scope"`
+	Index  int    `json:"index"`
+	Phase  string `json:"phase"`
+	Count  uint64 `json:"count"`
+	MeanUS int64  `json:"mean_us"`
+	P50US  int64  `json:"p50_us"`
+	P95US  int64  `json:"p95_us"`
+	P99US  int64  `json:"p99_us"`
+	MaxUS  int64  `json:"max_us"`
+}
+
+// PhaseStats summarizes every non-empty phase histogram, family scopes
+// first, ordered by index then phase — a deterministic order independent of
+// arrival interleaving.
+func (r *Recorder) PhaseStats() []PhaseStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []PhaseStat
+	appendScope := func(scope string, sets []phaseSet) {
+		for i := range sets {
+			for p := 0; p < NumPhases; p++ {
+				h := &sets[i][p]
+				if h.Count() == 0 {
+					continue
+				}
+				out = append(out, PhaseStat{
+					Scope:  scope,
+					Index:  i,
+					Phase:  Phase(p).String(),
+					Count:  h.Count(),
+					MeanUS: h.Mean() / 1e3,
+					P50US:  h.Quantile(0.50) / 1e3,
+					P95US:  h.Quantile(0.95) / 1e3,
+					P99US:  h.Quantile(0.99) / 1e3,
+					MaxUS:  h.Max() / 1e3,
+				})
+			}
+		}
+	}
+	appendScope("family", r.phaseFam)
+	appendScope("device", r.phaseDev)
+	return out
+}

@@ -75,6 +75,10 @@ type Recorder struct {
 	samples  []Sample
 	lastBusy []time.Duration
 	burns    []BurnEvent
+	// Per-phase latency decomposition histograms, by family and by device
+	// (see phases.go). phaseFam is sized at Init; phaseDev grows on demand.
+	phaseFam []phaseSet
+	phaseDev []phaseSet
 }
 
 // NewRecorder returns an empty recorder with defaults applied.
@@ -97,6 +101,8 @@ func (r *Recorder) Init(families int, onBurn func(BurnEvent)) {
 	r.samples = nil
 	r.lastBusy = nil
 	r.burns = nil
+	r.phaseFam = make([]phaseSet, families)
+	r.phaseDev = nil
 }
 
 // SampleInterval returns the configured sampling cadence.
@@ -208,6 +214,41 @@ func (r *Recorder) Samples() []Sample {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]Sample(nil), r.samples...)
+}
+
+// SamplesSince returns a copy of the samples recorded at or after cursor —
+// an index into the append-only sample log — together with the new cursor.
+// Incremental consumers (the flight recorder's ring) start at cursor 0 and
+// feed each returned cursor back in, paying only for new samples per call.
+func (r *Recorder) SamplesSince(cursor int) ([]Sample, int) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(r.samples) {
+		cursor = len(r.samples)
+	}
+	return append([]Sample(nil), r.samples[cursor:]...), len(r.samples)
+}
+
+// BurnsSince is SamplesSince for the burn-transition log.
+func (r *Recorder) BurnsSince(cursor int) ([]BurnEvent, int) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(r.burns) {
+		cursor = len(r.burns)
+	}
+	return append([]BurnEvent(nil), r.burns[cursor:]...), len(r.burns)
 }
 
 // Burns returns a copy of the burn-transition log in record order.

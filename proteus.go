@@ -41,6 +41,7 @@ import (
 	"proteus/internal/controlplane"
 	"proteus/internal/core"
 	"proteus/internal/experiments"
+	"proteus/internal/flightrec"
 	"proteus/internal/metrics"
 	"proteus/internal/models"
 	"proteus/internal/overload"
@@ -145,6 +146,23 @@ type (
 	OverloadState = overload.State
 	// OverloadEpisode is one active emergency-degradation episode.
 	OverloadEpisode = overload.Episode
+	// FlightRecorder is the black-box flight recorder: bounded rings of
+	// recent observability state snapshotted into incident bundles on SLO
+	// burn, overload, allocator fallback, device failure, or manual trigger
+	// (SystemConfig.Flight / LiveConfig.Flight). A nil recorder is a valid
+	// no-op, like the tracer.
+	FlightRecorder = flightrec.Recorder
+	// FlightConfig sizes the flight recorder's rings and selects live mode.
+	FlightConfig = flightrec.Config
+	// FlightSources are the observability surfaces the recorder samples.
+	FlightSources = flightrec.Sources
+	// IncidentBundle is one incident's atomic diagnostic snapshot.
+	IncidentBundle = flightrec.Bundle
+	// PhaseStat is one row of the per-family / per-device latency phase
+	// decomposition (admission, queue, batch_form, exec, response).
+	PhaseStat = tsdb.PhaseStat
+	// PhaseDurations is one query's per-phase latency split.
+	PhaseDurations = tsdb.PhaseDurations
 )
 
 // Device types of the paper's testbed.
@@ -229,6 +247,21 @@ func ReadRunDump(path string) (*RunDump, error) { return report.ReadDumpFile(pat
 // RenderRunReport renders a RunDump as a self-contained HTML report
 // (inline SVG, no scripts). Byte-deterministic for a given dump.
 func RenderRunReport(d *RunDump) []byte { return report.RenderHTML(d) }
+
+// NewFlightRecorder returns a flight recorder with defaults applied (4096
+// trace events, 64 counter snapshots, 2048 samples, 256 burns, 32 plans,
+// 16 retained incidents). A nil *FlightRecorder is a valid no-op.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return flightrec.New(cfg) }
+
+// ReadIncidentBundle parses an incident bundle JSON file written by the
+// flight recorder.
+func ReadIncidentBundle(path string) (*IncidentBundle, error) {
+	return flightrec.ReadBundleFile(path)
+}
+
+// RenderIncidentReport renders an incident bundle as a self-contained HTML
+// page. Byte-deterministic for a given bundle.
+func RenderIncidentReport(b *IncidentBundle) []byte { return report.RenderIncident(b) }
 
 // NewSystem assembles a simulated serving system.
 func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
