@@ -16,9 +16,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/debug"
 	"strconv"
 	"strings"
+
+	"proteus/internal/buildinfo"
 )
 
 type result struct {
@@ -35,29 +36,17 @@ type baseline struct {
 	// revision that produced the numbers, so comparison tools can refuse
 	// apples-to-oranges diffs. GoMaxProcs comes from the benchmark name
 	// suffix (BenchmarkX-8) when present, else from the converting process.
-	GoVersion  string   `json:"go_version,omitempty"`
-	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
-	Commit     string   `json:"commit,omitempty"`
-	Package    string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Results    []result `json:"results"`
-	Failed     bool     `json:"failed,omitempty"`
-	RawFooter  string   `json:"-"`
-}
-
-// vcsRevision returns the source commit baked into the binary's build info
-// ("" for non-VCS builds).
-func vcsRevision() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	for _, s := range info.Settings {
-		if s.Key == "vcs.revision" {
-			return s.Value
-		}
-	}
-	return ""
+	GoVersion  string `json:"go_version,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	Commit     string `json:"commit,omitempty"`
+	// Dirty marks baselines built from a modified working tree — their
+	// Commit alone does not reproduce them.
+	Dirty     bool     `json:"dirty,omitempty"`
+	Package   string   `json:"pkg,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []result `json:"results"`
+	Failed    bool     `json:"failed,omitempty"`
+	RawFooter string   `json:"-"`
 }
 
 func main() {
@@ -84,7 +73,8 @@ func parse(sc *bufio.Scanner) (*baseline, error) {
 		Results:    []result{},
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Commit:     vcsRevision(),
+		Commit:     buildinfo.Get().Revision,
+		Dirty:      buildinfo.Get().Modified,
 	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())

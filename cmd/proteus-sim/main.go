@@ -281,8 +281,10 @@ func main() {
 			fatal(fmt.Errorf("trace family %q is not in the model zoo", name))
 		}
 	}
+	// Run dumps embed an SLO-attribution section derived from the lifecycle
+	// trace, so -tsdb/-report force the tracer on alongside -trace/-incidents.
 	var tracer *proteus.Tracer
-	if *traceOut != "" || *incDir != "" {
+	if *traceOut != "" || *incDir != "" || *tsdbOut != "" || *reportOut != "" {
 		tracer = proteus.NewTracer(0)
 	}
 	var registry *proteus.TelemetryRegistry
@@ -397,14 +399,19 @@ func main() {
 		for _, d := range cl.Devices() {
 			names = append(names, d.Name)
 		}
-		dump := proteus.BuildRunDump(proteus.RunDumpInput{
+		din := proteus.RunDumpInput{
 			Label:       fmt.Sprintf("%s/%s %s", cfg.ModelAllocation, cfg.Batching, cfg.Trace.Kind),
 			Seed:        cfg.Seed,
 			Collector:   res.Collector,
 			Recorder:    recorder,
 			Plans:       res.Plans,
 			DeviceNames: names,
-		})
+		}
+		if tracer != nil {
+			din.Events = tracer.Events()
+			din.TraceDropped = tracer.Dropped()
+		}
+		dump := proteus.BuildRunDump(din)
 		if *tsdbOut != "" {
 			if err := dump.WriteFile(*tsdbOut); err != nil {
 				fatal(err)

@@ -11,6 +11,7 @@
 //	GET  /debug/allocations        controller decision audit log (JSON)
 //	GET  /debug/incidents          retained flight-recorder incident bundles
 //	POST /debug/incident           trigger a manual incident bundle
+//	GET  /debug/query?id=N         live SLO attribution for one query
 //	GET  /debug/pprof/             Go runtime profiles
 //
 // /metrics also speaks Prometheus text exposition format (0.0.4) under
@@ -102,16 +103,17 @@ func main() {
 		// flight recorder samples it too.
 		recorder = proteus.NewTSDBRecorder(proteus.TSDBConfig{})
 	}
-	var tracer *proteus.Tracer
+	// A bounded tracer is always on: it feeds GET /debug/query live SLO
+	// attribution, the run dump's attribution section, and — when an
+	// incident dir is configured — the bundle's trace tail.
+	tracer := proteus.NewTracer(1 << 16)
 	var flight *proteus.FlightRecorder
 	if *incDir != "" {
 		if err := os.MkdirAll(*incDir, 0o755); err != nil {
 			fatal(err)
 		}
-		// A bounded tracer feeds the bundle's trace tail; Live mode adds
-		// process runtime snapshots and allows pprof capture via
-		// POST /debug/incident?profile=cpu,heap.
-		tracer = proteus.NewTracer(1 << 16)
+		// Live mode adds process runtime snapshots and allows pprof capture
+		// via POST /debug/incident?profile=cpu,heap.
 		flight = proteus.NewFlightRecorder(proteus.FlightConfig{Dir: *incDir, Live: true})
 	}
 	var guard *proteus.OverloadConfig
@@ -150,7 +152,7 @@ func main() {
 		fmt.Println("per-device allocation:")
 		printAllocation(srv)
 		srv.Drain(*drainTO)
-		writeFinal(srv, registry, recorder, cl, *metricsOut, *tsdbOut, *seed)
+		writeFinal(srv, registry, recorder, tracer, cl, *metricsOut, *tsdbOut, *seed)
 		return
 	}
 
@@ -178,14 +180,14 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
-		writeFinal(srv, registry, recorder, cl, *metricsOut, *tsdbOut, *seed)
+		writeFinal(srv, registry, recorder, tracer, cl, *metricsOut, *tsdbOut, *seed)
 	}
 }
 
 // writeFinal dumps the run's observability outputs at shutdown: the counter
 // snapshot and the full run dump (windowed metrics, device time-series, SLO
 // burn log, decision audit).
-func writeFinal(srv *proteus.LiveServer, registry *proteus.TelemetryRegistry, recorder *proteus.TSDBRecorder, cl *proteus.Cluster, metricsOut, tsdbOut string, seed uint64) {
+func writeFinal(srv *proteus.LiveServer, registry *proteus.TelemetryRegistry, recorder *proteus.TSDBRecorder, tracer *proteus.Tracer, cl *proteus.Cluster, metricsOut, tsdbOut string, seed uint64) {
 	if metricsOut != "" {
 		f, err := os.Create(metricsOut)
 		if err != nil {
@@ -205,12 +207,14 @@ func writeFinal(srv *proteus.LiveServer, registry *proteus.TelemetryRegistry, re
 			devNames = append(devNames, d.Name)
 		}
 		dump := proteus.BuildRunDump(proteus.RunDumpInput{
-			Label:       "proteusd",
-			Seed:        seed,
-			Collector:   srv.Collector(),
-			Recorder:    recorder,
-			Plans:       srv.History(),
-			DeviceNames: devNames,
+			Label:        "proteusd",
+			Seed:         seed,
+			Collector:    srv.Collector(),
+			Recorder:     recorder,
+			Plans:        srv.History(),
+			DeviceNames:  devNames,
+			Events:       tracer.Events(),
+			TraceDropped: tracer.Dropped(),
 		})
 		if err := dump.WriteFile(tsdbOut); err != nil {
 			fatal(err)

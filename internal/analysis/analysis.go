@@ -249,6 +249,7 @@ func (r *Registry) Rules() []Rule {
 var DeterministicPackages = []string{
 	"internal/core",
 	"internal/allocator",
+	"internal/attrib",
 	"internal/lp",
 	"internal/milp",
 	"internal/flightrec",

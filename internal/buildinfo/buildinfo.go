@@ -1,0 +1,62 @@
+// Package buildinfo surfaces the build metadata the Go linker embeds in
+// every binary (runtime/debug.ReadBuildInfo): toolchain version, main
+// module path, and — for builds made inside a git checkout — the VCS
+// revision, commit time, and dirty flag. One place reads it so proteusd's
+// /healthz, incident bundles, and benchmark baselines all report the same
+// identity and can be joined during an investigation ("which build
+// produced this?").
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Info is a binary's build identity. All fields may be empty: test
+// binaries and `go run` builds carry partial metadata.
+type Info struct {
+	GoVersion string `json:"go_version,omitempty"`
+	// Path is the main module path; Version its module version ("(devel)"
+	// for local builds).
+	Path    string `json:"path,omitempty"`
+	Version string `json:"version,omitempty"`
+	// Revision / Time / Modified mirror the vcs.* build settings: the
+	// commit the binary was built from, its author time, and whether the
+	// working tree was dirty.
+	Revision string `json:"vcs_revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	Modified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the running binary's build identity. The read is cached:
+// debug.ReadBuildInfo parses the embedded module data on every call, and
+// hot paths (health probes, incident triggers) should not pay that.
+func Get() Info {
+	once.Do(func() {
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		cached = Info{
+			GoVersion: info.GoVersion,
+			Path:      info.Main.Path,
+			Version:   info.Main.Version,
+		}
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cached.Revision = s.Value
+			case "vcs.time":
+				cached.Time = s.Value
+			case "vcs.modified":
+				cached.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cached
+}

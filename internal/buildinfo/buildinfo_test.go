@@ -1,0 +1,16 @@
+package buildinfo
+
+import "testing"
+
+// TestGet asserts the embedded metadata reads and the cache is stable:
+// test binaries always carry a toolchain version, and repeated calls must
+// return the identical value.
+func TestGet(t *testing.T) {
+	a := Get()
+	if a.GoVersion == "" {
+		t.Fatal("GoVersion empty — ReadBuildInfo failed in a test binary")
+	}
+	if b := Get(); b != a {
+		t.Fatalf("Get not stable: %+v then %+v", a, b)
+	}
+}

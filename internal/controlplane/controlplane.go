@@ -101,13 +101,22 @@ type OverloadRecord struct {
 	Family int           `json:"family"`
 	Kind   string        `json:"kind"`
 	Level  int           `json:"level"`
-	Reason string        `json:"reason"`
+	// Episode is the guard-global id of the degradation episode the
+	// transition belongs to (0 on records from before episode tracking).
+	Episode int    `json:"episode,omitempty"`
+	Reason  string `json:"reason"`
 }
 
 // PlanRecord is one entry of the controller's decision audit log: what was
 // decided, why (trigger), by which stage of the solver chain, at what
 // solver cost, and how the fleet changed relative to the previous plan.
 type PlanRecord struct {
+	// Seq numbers audit records monotonically from 1 in append order
+	// (error records included). Trace events stamp the sequence number of
+	// the plan in force at enqueue, so latency attribution can tell which
+	// control decision a query ran under; 0 on a trace event means no plan
+	// had been applied yet.
+	Seq               int           `json:"seq"`
 	At                time.Duration `json:"at_ns"`
 	Demand            []float64     `json:"demand"`
 	PredictedAccuracy float64       `json:"predicted_accuracy"`
@@ -177,6 +186,9 @@ type Controller struct {
 	// burn callback write concurrently.
 	mu      sync.Mutex
 	history []PlanRecord
+	// seq is the monotone audit-record counter; unlike history it never
+	// resets when the ring drops old records.
+	seq int
 	// historyLimit bounds the audit log: once it holds this many records
 	// the oldest are dropped, so long live runs hold steady-state memory.
 	historyLimit int
@@ -399,10 +411,13 @@ func (c *Controller) SetRecordHook(fn func(PlanRecord)) {
 	c.mu.Unlock()
 }
 
-// append adds a record to the audit log under the history lock, attaching
-// (and clearing) the burn transitions buffered since the last record.
+// append adds a record to the audit log under the history lock, stamping
+// its sequence number and attaching (and clearing) the burn transitions
+// buffered since the last record.
 func (c *Controller) append(rec PlanRecord) {
 	c.mu.Lock()
+	c.seq++
+	rec.Seq = c.seq
 	if len(c.pendingBurns) > 0 {
 		rec.SLOBurns = c.pendingBurns
 		c.pendingBurns = nil
@@ -501,4 +516,19 @@ func (c *Controller) History() []PlanRecord {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]PlanRecord(nil), c.history...)
+}
+
+// LastPlanSeq returns the sequence number of the most recent audit record
+// that produced a plan (error records don't count; 0 before the first
+// plan). Engines read it right after Reallocate returns and stamp it onto
+// enqueue trace events.
+func (c *Controller) LastPlanSeq() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.history) - 1; i >= 0; i-- {
+		if c.history[i].Stage != "error" {
+			return c.history[i].Seq
+		}
+	}
+	return 0
 }

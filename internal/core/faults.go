@@ -24,7 +24,7 @@ func (s *System) failDevice(d int) {
 	s.flight.Trigger(now, "device_failure", s.workers[d].dev.Name, -1, d)
 	s.rebuildTable()
 	for _, q := range stranded {
-		s.requeue(now, q)
+		s.requeue(now, q, telemetry.CauseDeviceFailure)
 	}
 	s.faultRealloc("failure")
 }
@@ -60,19 +60,29 @@ func (s *System) recoverDevice(d int) {
 
 // requeue returns a stranded query to the router: dropped if it already
 // burned its re-route budget (Config.MaxRetries) or cannot meet its
-// deadline, re-dispatched to a surviving replica otherwise.
-func (s *System) requeue(now time.Duration, q query) {
+// deadline, re-dispatched to a surviving replica otherwise. cause records
+// why the query was stranded (device failure, stale route) on the requeue
+// and retry trace events, so attribution can name the re-route penalty.
+func (s *System) requeue(now time.Duration, q query, cause telemetry.Cause) {
 	s.collector.Requeued(now, q.family)
 	s.tc.Requeued.Inc()
-	s.tracer.Record(now, telemetry.EvRequeued, q.id, q.family, -1, -1)
-	if q.retries >= s.cfg.MaxRetries || q.deadline <= now {
-		s.dropQuery(now, q)
+	if s.tracer != nil {
+		s.tracer.RecordCtx(now, telemetry.EvRequeued, q.id, q.family, -1, -1, s.traceCtx(q.family, cause))
+	}
+	if q.retries >= s.cfg.MaxRetries {
+		s.dropQuery(now, q, telemetry.CauseRetryBudget)
+		return
+	}
+	if q.deadline <= now {
+		s.dropQuery(now, q, telemetry.CauseExpired)
 		return
 	}
 	q.retries++
 	s.collector.Retried(now, q.family)
 	s.tc.Retried.Inc()
-	s.tracer.Record(now, telemetry.EvRetried, q.id, q.family, -1, -1)
+	if s.tracer != nil {
+		s.tracer.RecordCtx(now, telemetry.EvRetried, q.id, q.family, -1, -1, s.traceCtx(q.family, cause))
+	}
 	s.route(now, q)
 }
 

@@ -39,6 +39,10 @@ type System struct {
 	nextID      uint64
 	nextBatchID int
 	reallocErr  error
+	// planSeq is the audit-log sequence number of the plan currently in
+	// force (0 until the initial plan applies). Stamped onto trace events
+	// so latency attribution can join queries to control decisions.
+	planSeq int32
 
 	// Telemetry: tracer, counter bundles and the tsdb recorder are
 	// nil-safe, so an uninstrumented run pays only a nil check per event.
@@ -82,6 +86,9 @@ func NewSystem(cfg Config) (*System, error) {
 		tc:     telemetry.NewSystemCounters(cfg.Telemetry),
 		rc:     telemetry.NewRouterCounters(cfg.Telemetry),
 	}
+	// Ring-wrap evictions surface as trace_dropped_total so truncated
+	// traces are visible to attribution (both arguments are nil-safe).
+	cfg.Tracer.SetDropCounter(cfg.Telemetry.Counter("trace_dropped_total"))
 	s.collector = metrics.NewCollector(cfg.MetricsInterval, cfg.FamilyNames())
 	// The controller's model profiler (§3): every (variant, device type,
 	// batch) latency is measured up front and stored in the O(1) key-value
@@ -207,6 +214,7 @@ func (s *System) RunArrivals(arrivals []trace.Arrival, duration time.Duration, i
 	if err != nil {
 		return nil, fmt.Errorf("core: initial allocation: %w", err)
 	}
+	s.planSeq = int32(s.controller.LastPlanSeq())
 	s.applyPlan(plan, true)
 
 	for _, a := range arrivals {
@@ -380,18 +388,29 @@ func (s *System) route(now time.Duration, q query) {
 		if d >= 0 && !s.guard.Admit(now, d, q.deadline) {
 			// Shed-on-arrival: the query provably cannot meet its deadline
 			// behind d's backlog, so executing it would only waste capacity.
-			s.dropQuery(now, q)
+			s.dropQuery(now, q, telemetry.CauseShedAdmission)
 			return
 		}
 	} else {
 		d = s.table.Pick(q.family, s.rng)
 	}
 	if d < 0 {
-		s.dropQuery(now, q)
+		s.dropQuery(now, q, telemetry.CauseNoRoute)
 		return
 	}
 	s.tracer.Record(now, telemetry.EvRoute, q.id, q.family, d, -1)
 	s.workers[d].enqueue(q)
+}
+
+// traceCtx assembles the causal context stamped onto trace events: the plan
+// in force, the family's active degradation episode, and the event's cause.
+// Call only when the tracer is non-nil — the guard lookup is not free.
+func (s *System) traceCtx(family int, cause telemetry.Cause) telemetry.Ctx {
+	ctx := telemetry.Ctx{Plan: s.planSeq, Cause: cause}
+	if s.guard != nil {
+		ctx.Episode = int32(s.guard.EpisodeID(family))
+	}
+	return ctx
 }
 
 // applyOverloadChanges publishes the guard's degradation-ladder transitions:
@@ -403,13 +422,15 @@ func (s *System) applyOverloadChanges(changes []overload.Change) {
 		if ch.Kind == overload.Restore {
 			kind = telemetry.EvDegradeEnd
 		}
-		s.tracer.Record(ch.At, kind, 0, ch.Family, -1, ch.Level)
+		s.tracer.RecordCtx(ch.At, kind, 0, ch.Family, -1, ch.Level,
+			telemetry.Ctx{Plan: s.planSeq, Episode: int32(ch.Episode)})
 		s.controller.NoteOverload(controlplane.OverloadRecord{
-			At:     ch.At,
-			Family: ch.Family,
-			Kind:   string(ch.Kind),
-			Level:  ch.Level,
-			Reason: ch.Reason,
+			At:      ch.At,
+			Family:  ch.Family,
+			Kind:    string(ch.Kind),
+			Level:   ch.Level,
+			Episode: ch.Episode,
+			Reason:  ch.Reason,
 		})
 		// A degradation opening is the overload incident's leading edge;
 		// escalations and restores are just episode progress.
@@ -448,9 +469,14 @@ func (s *System) reallocate(trigger string) {
 		}
 		return
 	}
+	// The new plan's audit sequence number becomes current only when the
+	// plan itself does, so queries enqueued during the apply delay still
+	// blame the plan they actually ran under.
+	seq := int32(s.controller.LastPlanSeq())
 	// The plan takes effect after the control-path delay (§4: the solver is
 	// off the critical path, so serving continues meanwhile).
 	s.engine.After(s.cfg.PlanApplyDelay, func() {
+		s.planSeq = seq
 		s.applyPlan(plan, false)
 		if trigger == "failure" {
 			// The surviving-device plan is live: failures are handled.
@@ -598,17 +624,21 @@ func (s *System) syncGuardPlan(now time.Duration) {
 	s.guard.SetPlan(now, profs)
 }
 
-func (s *System) dropQuery(now time.Duration, q query) {
+func (s *System) dropQuery(now time.Duration, q query, cause telemetry.Cause) {
 	s.collector.Dropped(now, q.family)
 	s.recorder.Violation(now, q.family)
 	s.tc.Dropped.Inc()
-	s.tracer.Record(now, telemetry.EvDropped, q.id, q.family, -1, -1)
+	if s.tracer != nil {
+		s.tracer.RecordCtx(now, telemetry.EvDropped, q.id, q.family, -1, -1, s.traceCtx(q.family, cause))
+	}
 }
 
 func (s *System) serveQuery(now time.Duration, q query, accuracy float64, device, batch int) {
 	s.collector.Served(now, q.family, accuracy, now-q.arrival)
 	s.tc.Served.Inc()
-	s.tracer.Record(now, telemetry.EvDone, q.id, q.family, device, batch)
+	if s.tracer != nil {
+		s.tracer.RecordCtx(now, telemetry.EvDone, q.id, q.family, device, batch, s.traceCtx(q.family, telemetry.CauseNone))
+	}
 	s.recordPhases(now, q, device)
 }
 
@@ -616,7 +646,9 @@ func (s *System) lateQuery(now time.Duration, q query, device, batch int) {
 	s.collector.Late(now, q.family, now-q.arrival)
 	s.recorder.Violation(now, q.family)
 	s.tc.Late.Inc()
-	s.tracer.Record(now, telemetry.EvLate, q.id, q.family, device, batch)
+	if s.tracer != nil {
+		s.tracer.RecordCtx(now, telemetry.EvLate, q.id, q.family, device, batch, s.traceCtx(q.family, telemetry.CauseNone))
+	}
 	s.recordPhases(now, q, device)
 }
 

@@ -141,12 +141,17 @@ func (w *worker) procTime(b int) time.Duration {
 func (w *worker) enqueue(q query) {
 	if w.down {
 		// Routed before the table caught up with the failure; bounce back.
-		w.sys.requeue(w.sys.engine.Now(), q)
+		w.sys.requeue(w.sys.engine.Now(), q, telemetry.CauseStaleRoute)
 		return
 	}
 	now := w.sys.engine.Now()
 	w.noteArrival(now)
-	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1)
+	if tr := w.sys.tracer; tr != nil {
+		// The enqueue event carries the plan and overload episode in force,
+		// anchoring the attribution engine's causal joins.
+		tr.RecordCtx(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1,
+			w.sys.traceCtx(q.family, telemetry.CauseNone))
+	}
 	q.enqueueAt = now
 	w.queue = append(w.queue, q)
 	w.syncDepth()
@@ -222,7 +227,7 @@ func (w *worker) dropExpired(now time.Duration) {
 	keep := w.queue[:0]
 	for _, q := range w.queue {
 		if q.deadline < horizon {
-			w.sys.dropQuery(now, q)
+			w.sys.dropQuery(now, q, telemetry.CauseExpired)
 			continue
 		}
 		keep = append(keep, q)
@@ -241,7 +246,7 @@ func (w *worker) evaluate() {
 	if w.hosted == nil || w.maxBatch < 1 {
 		// Nothing runnable here; shed whatever was routed to us.
 		for _, q := range w.queue {
-			w.sys.dropQuery(now, q)
+			w.sys.dropQuery(now, q, telemetry.CauseNoRoute)
 		}
 		w.queue = nil
 		w.syncDepth()
@@ -308,7 +313,7 @@ func (w *worker) applyDrops(now time.Duration, drop []int) {
 	keep := w.queue[:0]
 	for i, q := range w.queue {
 		if di < len(drop) && drop[di] == i {
-			w.sys.dropQuery(now, q)
+			w.sys.dropQuery(now, q, telemetry.CausePolicyDrop)
 			di++
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 
+	"proteus/internal/buildinfo"
 	"proteus/internal/controlplane"
 	"proteus/internal/telemetry"
 	"proteus/internal/tsdb"
@@ -20,18 +21,30 @@ type TraceEvent struct {
 	Family int32  `json:"family"`
 	Device int32  `json:"device"`
 	Batch  int32  `json:"batch"`
+	// Causal attribution stamps: the control-plan sequence number and
+	// overload episode id in force when the event was recorded, and the
+	// drop/requeue cause (omitted when zero, like the JSONL export).
+	Plan    int32  `json:"plan,omitempty"`
+	Episode int32  `json:"episode,omitempty"`
+	Cause   string `json:"cause,omitempty"`
 }
 
 func toTraceEvent(ev telemetry.Event) TraceEvent {
-	return TraceEvent{
-		AtUS:   ev.At.Microseconds(),
-		Seq:    ev.Seq,
-		Kind:   ev.Kind.String(),
-		Query:  ev.Query,
-		Family: ev.Family,
-		Device: ev.Device,
-		Batch:  ev.Batch,
+	te := TraceEvent{
+		AtUS:    ev.At.Microseconds(),
+		Seq:     ev.Seq,
+		Kind:    ev.Kind.String(),
+		Query:   ev.Query,
+		Family:  ev.Family,
+		Device:  ev.Device,
+		Batch:   ev.Batch,
+		Plan:    ev.Plan,
+		Episode: ev.Episode,
 	}
+	if ev.Cause != telemetry.CauseNone {
+		te.Cause = ev.Cause.String()
+	}
+	return te
 }
 
 // CounterSnap is one sampling tick's counter-registry snapshot.
@@ -87,6 +100,10 @@ type Bundle struct {
 	Plans []controlplane.PlanRecord `json:"plans,omitempty"`
 	// Runtime holds live-mode process snapshots (empty in the simulator).
 	Runtime []RuntimeSnap `json:"runtime,omitempty"`
+	// Build identifies the binary that produced the bundle, so incidents
+	// can be joined back to a commit. Identical across same-seed runs of
+	// one binary, keeping bundles byte-deterministic.
+	Build buildinfo.Info `json:"build"`
 }
 
 // WriteJSON writes the bundle as indented JSON. Byte-deterministic: struct

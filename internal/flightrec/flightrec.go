@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"proteus/internal/buildinfo"
 	"proteus/internal/controlplane"
 	"proteus/internal/telemetry"
 	"proteus/internal/tsdb"
@@ -267,6 +268,7 @@ func (r *Recorder) Trigger(now time.Duration, reason, detail string, family, dev
 		Detail: detail,
 		Family: family,
 		Device: device,
+		Build:  buildinfo.Get(),
 	}
 	b.TraceEvents = make([]TraceEvent, len(events))
 	for i, ev := range events {

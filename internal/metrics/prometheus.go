@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheusLatency exports the per-family whole-run latency
+// histograms in the Prometheus text exposition format (version 0.0.4), as
+// one native histogram family:
+//
+//	query_latency_seconds_bucket{family="resnet",le="0.001"} 5
+//	...
+//	query_latency_seconds_bucket{family="resnet",le="+Inf"} 123
+//	query_latency_seconds_sum{family="resnet"} 1.84
+//	query_latency_seconds_count{family="resnet"} 123
+//
+// Bucket upper bounds come straight from the tsdb log-linear histogram
+// (converted from nanoseconds to seconds); counts are cumulative, per the
+// exposition format. Families with no completions are omitted. The output
+// is deterministic: families in registration order, buckets ascending.
+func (c *Collector) WritePrometheusLatency(w io.Writer) error {
+	const name = "query_latency_seconds"
+	wroteHeader := false
+	for f, fam := range c.families {
+		h := c.LatencyHistogram(f)
+		if h.Count() == 0 {
+			continue
+		}
+		if !wroteHeader {
+			if _, err := fmt.Fprintf(w, "# HELP %s End-to-end query latency (served and late), by model family.\n# TYPE %s histogram\n",
+				name, name); err != nil {
+				return err
+			}
+			wroteHeader = true
+		}
+		var cum uint64
+		for _, b := range h.Buckets() {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{family=%q,le=%q} %d\n",
+				name, fam, seconds(b.High), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{family=%q,le=\"+Inf\"} %d\n%s_sum{family=%q} %s\n%s_count{family=%q} %d\n",
+			name, fam, h.Count(),
+			name, fam, seconds(h.Sum()),
+			name, fam, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seconds formats a nanosecond value as a seconds float, shortest exact
+// representation (strconv 'g' is deterministic, so exposition bytes are
+// stable across same-seed runs).
+func seconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promHistogram is one parsed family's histogram state.
+type promHistogram struct {
+	buckets []struct {
+		le  float64
+		cum uint64
+	}
+	sum      float64
+	count    uint64
+	hasInf   bool
+	infCount uint64
+}
+
+// parseExposition is a minimal Prometheus text-format (0.0.4) parser for
+// the query_latency_seconds family: enough to assert the exposition is
+// well-formed the way a real scraper requires.
+func parseExposition(t *testing.T, text string) map[string]*promHistogram {
+	t.Helper()
+	out := map[string]*promHistogram{}
+	sawHelp, sawType := false, false
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP query_latency_seconds ") {
+			sawHelp = true
+			continue
+		}
+		if line == "# TYPE query_latency_seconds histogram" {
+			sawType = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, "{")
+		var labels, value string
+		if ok {
+			labels, value, ok = strings.Cut(rest, "} ")
+			if !ok {
+				t.Fatalf("malformed sample line %q", line)
+			}
+		} else {
+			t.Fatalf("unlabeled sample line %q", line)
+		}
+		fam := ""
+		le := ""
+		for _, lp := range strings.Split(labels, ",") {
+			k, v, ok := strings.Cut(lp, "=")
+			if !ok {
+				t.Fatalf("malformed label pair %q in %q", lp, line)
+			}
+			uq, err := strconv.Unquote(v)
+			if err != nil {
+				t.Fatalf("label value %q not quoted in %q: %v", v, line, err)
+			}
+			switch k {
+			case "family":
+				fam = uq
+			case "le":
+				le = uq
+			}
+		}
+		if fam == "" {
+			t.Fatalf("sample without family label: %q", line)
+		}
+		h := out[fam]
+		if h == nil {
+			h = &promHistogram{}
+			out[fam] = h
+		}
+		switch name {
+		case "query_latency_seconds_bucket":
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", value, err)
+			}
+			if le == "+Inf" {
+				h.hasInf = true
+				h.infCount = n
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("le %q: %v", le, err)
+			}
+			h.buckets = append(h.buckets, struct {
+				le  float64
+				cum uint64
+			}{f, n})
+		case "query_latency_seconds_sum":
+			f, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				t.Fatalf("sum value %q: %v", value, err)
+			}
+			h.sum = f
+		case "query_latency_seconds_count":
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("count value %q: %v", value, err)
+			}
+			h.count = n
+		default:
+			t.Fatalf("unexpected metric name %q", name)
+		}
+	}
+	if len(out) > 0 && (!sawHelp || !sawType) {
+		t.Fatal("exposition missing # HELP / # TYPE header")
+	}
+	return out
+}
+
+// TestWritePrometheusLatency records known latencies and asserts the
+// exposition parses with the invariants scrapers rely on: cumulative
+// monotone buckets, +Inf equal to _count, and a consistent _sum.
+func TestWritePrometheusLatency(t *testing.T) {
+	c := NewCollector(time.Second, []string{"resnet", "bert", "idle"})
+	lats := []time.Duration{
+		900 * time.Microsecond, 3 * time.Millisecond, 3 * time.Millisecond,
+		47 * time.Millisecond, 250 * time.Millisecond, 2 * time.Second,
+	}
+	var wantSum time.Duration
+	for i, l := range lats {
+		c.Served(time.Duration(i)*time.Second, 0, 0.8, l)
+		wantSum += l
+	}
+	c.Late(0, 1, 10*time.Millisecond)
+	// Family "idle" completes nothing and must be absent.
+
+	var sb strings.Builder
+	if err := c.WritePrometheusLatency(&sb); err != nil {
+		t.Fatal(err)
+	}
+	hists := parseExposition(t, sb.String())
+	if len(hists) != 2 {
+		t.Fatalf("got %d families, want 2 (idle omitted): %v", len(hists), hists)
+	}
+	if _, ok := hists["idle"]; ok {
+		t.Fatal("family with no completions exported")
+	}
+
+	h := hists["resnet"]
+	if h == nil {
+		t.Fatal("resnet histogram missing")
+	}
+	if !h.hasInf {
+		t.Fatal("resnet histogram has no +Inf bucket")
+	}
+	if h.infCount != uint64(len(lats)) || h.count != uint64(len(lats)) {
+		t.Fatalf("+Inf=%d count=%d, want both %d", h.infCount, h.count, len(lats))
+	}
+	prevLE, prevCum := -1.0, uint64(0)
+	for _, b := range h.buckets {
+		if b.le <= prevLE {
+			t.Fatalf("le bounds not ascending: %v after %v", b.le, prevLE)
+		}
+		if b.cum < prevCum {
+			t.Fatalf("cumulative counts decreased: %d after %d", b.cum, prevCum)
+		}
+		prevLE, prevCum = b.le, b.cum
+	}
+	if prevCum != h.infCount {
+		t.Fatalf("last finite bucket %d != +Inf %d", prevCum, h.infCount)
+	}
+	// Every latency must sit in a bucket whose bound covers it.
+	for _, l := range lats {
+		s := l.Seconds()
+		covered := false
+		for _, b := range h.buckets {
+			if s <= b.le {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("latency %v above every finite bucket bound", l)
+		}
+	}
+	if got, want := h.sum, wantSum.Seconds(); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("sum %v, want ~%v", got, want)
+	}
+
+	if hists["bert"].count != 1 {
+		t.Fatalf("bert count %d, want 1 (late completions count)", hists["bert"].count)
+	}
+
+	// Byte-determinism: a second write of the same state is identical.
+	var sb2 strings.Builder
+	if err := c.WritePrometheusLatency(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("exposition bytes not deterministic")
+	}
+}

@@ -118,6 +118,10 @@ type Change struct {
 	// Level is the number of masked accuracy tiers after the transition
 	// (0 after a restore).
 	Level int
+	// Episode is the id of the episode this transition belongs to: opened
+	// by the Degrade, carried by Escalates, and closed by the Restore.
+	// Episode ids are guard-global, monotone from 1.
+	Episode int
 	// Reason explains the transition for the decision audit.
 	Reason string
 }
@@ -129,6 +133,10 @@ type famState struct {
 	tiers   [][]int
 	level   int
 	burning bool
+	// episode is the id of the active degradation episode (0 when level ==
+	// 0). Stamped onto enqueue trace events so attribution can join a
+	// query's exec latency to the degradation that shaped it.
+	episode int
 	// clearSince is when the burn last ended (valid when !burning);
 	// lastStep is the time of the most recent degrade/escalate; lastRestore
 	// the most recent restore.
@@ -158,6 +166,8 @@ type Guard struct {
 	cfg  Config
 	devs []devState
 	fams []famState
+	// epSeq numbers degradation episodes guard-globally, monotone from 1.
+	epSeq int
 
 	counters Counters
 }
@@ -279,6 +289,11 @@ func (g *Guard) SetPlan(now time.Duration, profs []DeviceProfile) {
 				max = 0
 			}
 			fam.level = max
+			if fam.level == 0 {
+				// The new ladder has nothing left to mask, so the episode
+				// effectively ended with the plan change.
+				fam.episode = 0
+			}
 		}
 		for l, devs := range fam.tiers {
 			for _, d := range devs {
@@ -416,8 +431,10 @@ func (g *Guard) tryDegrade(now time.Duration, f int, reason string) []Change {
 	}
 	fam.level = 1
 	fam.lastStep = now
+	g.epSeq++
+	fam.episode = g.epSeq
 	g.counters.Degraded.Inc()
-	return []Change{{At: now, Family: f, Kind: Degrade, Level: 1, Reason: reason}}
+	return []Change{{At: now, Family: f, Kind: Degrade, Level: 1, Episode: fam.episode, Reason: reason}}
 }
 
 // Tick advances the time-based edges of the ladder: escalation of a
@@ -446,17 +463,19 @@ func (g *Guard) Tick(now time.Duration) []Change {
 				g.counters.Escalated.Inc()
 				changes = append(changes, Change{
 					At: now, Family: f, Kind: Escalate, Level: fam.level,
-					Reason: "burn_persisting",
+					Episode: fam.episode, Reason: "burn_persisting",
 				})
 			}
 		case !fam.burning && fam.level > 0:
 			if now-fam.clearSince >= g.cfg.RestoreHold {
+				closed := fam.episode
 				fam.level = 0
+				fam.episode = 0
 				fam.lastRestore = now
 				g.counters.Restored.Inc()
 				changes = append(changes, Change{
 					At: now, Family: f, Kind: Restore, Level: 0,
-					Reason: "burn_cleared",
+					Episode: closed, Reason: "burn_cleared",
 				})
 			}
 		}
@@ -503,6 +522,9 @@ type DeviceOverload struct {
 // Episode is one family's active degradation episode in the state report.
 type Episode struct {
 	Family int `json:"family"`
+	// ID is the guard-global episode id (matches the Episode field of the
+	// Change that opened it and of enqueue trace events recorded under it).
+	ID int `json:"id"`
 	// Level is the number of masked accuracy tiers.
 	Level int `json:"level"`
 	// Since is the time of the episode's most recent degrade/escalate step.
@@ -550,6 +572,7 @@ func (g *Guard) State() State {
 		if fam.level > 0 {
 			st.Episodes = append(st.Episodes, Episode{
 				Family: f,
+				ID:     fam.episode,
 				Level:  fam.level,
 				Since:  fam.lastStep,
 				Reason: "slo_burn",
@@ -571,4 +594,18 @@ func (g *Guard) Level(f int) int {
 		return 0
 	}
 	return g.fams[f].level
+}
+
+// EpisodeID returns the id of family f's active degradation episode (0 when
+// routing follows the plan). Engines stamp it onto enqueue trace events.
+func (g *Guard) EpisodeID(f int) int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f < 0 || f >= len(g.fams) {
+		return 0
+	}
+	return g.fams[f].episode
 }

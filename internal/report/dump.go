@@ -14,8 +14,10 @@ import (
 	"os"
 	"time"
 
+	"proteus/internal/attrib"
 	"proteus/internal/controlplane"
 	"proteus/internal/metrics"
+	"proteus/internal/telemetry"
 	"proteus/internal/tsdb"
 )
 
@@ -69,6 +71,47 @@ type Dump struct {
 	// (empty when no tsdb recorder ran or no query completed).
 	Phases []tsdb.PhaseStat          `json:"phases,omitempty"`
 	Plans  []controlplane.PlanRecord `json:"plans,omitempty"`
+	// Attribution is the SLO-violation attribution section (nil when the
+	// run had no lifecycle tracer).
+	Attribution *Attribution `json:"attribution,omitempty"`
+}
+
+// Attribution is the latency-attribution section of a dump: aggregate blame
+// tables plus the worst violated queries' waterfalls (the full per-query
+// report stays in the trace — re-derive it with proteus-explain).
+type Attribution struct {
+	Queries  int `json:"queries"`
+	Violated int `json:"violated"`
+	// Unfinished counts queries still in flight when the trace ended.
+	Unfinished int `json:"unfinished,omitempty"`
+	// TraceDropped / Incomplete mirror the tracer's ring-wrap evictions:
+	// when set, the explanation is incomplete — the trace was truncated.
+	TraceDropped uint64                 `json:"trace_dropped,omitempty"`
+	Incomplete   bool                   `json:"incomplete,omitempty"`
+	TopViolated  []attrib.Explanation   `json:"top_violated,omitempty"`
+	Families     []attrib.FamilySummary `json:"families,omitempty"`
+	Windows      []attrib.WindowSummary `json:"windows,omitempty"`
+}
+
+// BuildAttribution trims an attribution report into the dump section,
+// keeping the k worst violated queries (k <= 0 means 10).
+func BuildAttribution(rep *attrib.Report, k int) *Attribution {
+	if k <= 0 {
+		k = 10
+	}
+	a := &Attribution{
+		Queries:      len(rep.Queries),
+		Violated:     len(rep.Violated),
+		Unfinished:   rep.Unfinished,
+		TraceDropped: rep.TraceDropped,
+		Incomplete:   rep.Incomplete,
+		Families:     rep.Families,
+		Windows:      rep.Windows,
+	}
+	for i := 0; i < len(rep.Violated) && i < k; i++ {
+		a.TopViolated = append(a.TopViolated, rep.Queries[rep.Violated[i]])
+	}
+	return a
 }
 
 // BuildInput names the sources a Dump is assembled from. Collector is
@@ -80,6 +123,12 @@ type BuildInput struct {
 	Recorder    *tsdb.Recorder
 	Plans       []controlplane.PlanRecord
 	DeviceNames []string
+	// Events, when non-empty, runs the latency attribution pass and fills
+	// Dump.Attribution. TraceDropped is the tracer's ring-wrap eviction
+	// count; AttribTopK bounds the embedded worst-violated list (default 10).
+	Events       []telemetry.Event
+	TraceDropped uint64
+	AttribTopK   int
 }
 
 // Build assembles a Dump. NaN series values (accuracy of an empty bin) are
@@ -139,6 +188,15 @@ func Build(in BuildInput) *Dump {
 		d.Samples = in.Recorder.Samples()
 		d.Burns = in.Recorder.Burns()
 		d.Phases = in.Recorder.PhaseStats()
+	}
+	if len(in.Events) > 0 {
+		rep := attrib.Analyze(attrib.Input{
+			Events:       in.Events,
+			Plans:        in.Plans,
+			FamilyNames:  c.Families(),
+			TraceDropped: in.TraceDropped,
+		})
+		d.Attribution = BuildAttribution(rep, in.AttribTopK)
 	}
 	return d
 }

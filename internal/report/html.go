@@ -49,6 +49,7 @@ svg{display:block;margin-top:8px}
 	renderUtilizationHeatmap(&sb, d)
 	renderFamilyTable(&sb, d)
 	renderPhaseSection(&sb, d)
+	renderAttributionSection(&sb, d)
 	renderBurnTable(&sb, d)
 	renderPlanTable(&sb, d)
 
@@ -313,6 +314,52 @@ func renderPhaseTable(sb *strings.Builder, phases []tsdb.PhaseStat, famName, dev
 // usMS formats integer microseconds as compact milliseconds.
 func usMS(us int64) string {
 	return trimF(float64(us) / 1e3)
+}
+
+// renderAttributionSection writes the "SLO attribution" section: per-family
+// blame tables and the worst violated queries' latency waterfalls.
+func renderAttributionSection(sb *strings.Builder, d *Dump) {
+	a := d.Attribution
+	if a == nil {
+		return
+	}
+	sb.WriteString("<h2>SLO attribution</h2>\n")
+	fmt.Fprintf(sb, `<p class="meta">%d queries attributed, %d violated, %d unfinished</p>`+"\n",
+		a.Queries, a.Violated, a.Unfinished)
+	if a.Incomplete {
+		fmt.Fprintf(sb, `<p class="meta"><b>explanation incomplete: trace truncated</b> (%d events evicted by ring wrap)</p>`+"\n",
+			a.TraceDropped)
+	}
+	if len(a.Families) > 0 {
+		sb.WriteString("<table>\n<tr><th>family</th><th>queries</th><th>violated</th><th>late</th><th>dropped</th><th>top blame</th></tr>\n")
+		for _, f := range a.Families {
+			name := f.Name
+			if name == "" {
+				name = fmt.Sprintf("family %d", f.Family)
+			}
+			top := ""
+			if len(f.Blames) > 0 {
+				top = fmt.Sprintf("%s (%d)", f.Blames[0].Blame, f.Blames[0].Count)
+			}
+			fmt.Fprintf(sb, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+				escape(name), f.Queries, f.Violated, f.Late, f.Dropped, escape(top))
+		}
+		sb.WriteString("</table>\n")
+	}
+	if len(a.TopViolated) > 0 {
+		sb.WriteString("<h2>Worst violated queries</h2>\n<table>\n<tr><th>query</th><th>family</th><th>outcome</th><th>e2e ms</th><th>dominant</th><th>blame</th><th>detail</th></tr>\n")
+		for _, q := range a.TopViolated {
+			dom := q.Dominant()
+			famName := fmt.Sprintf("%d", q.Family)
+			if int(q.Family) < len(d.Families) && q.Family >= 0 {
+				famName = d.Families[q.Family].Name
+			}
+			fmt.Fprintf(sb, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				q.Query, escape(famName), q.Outcome,
+				trimF(float64(q.E2E)/1e6), dom, q.Blame, escape(q.Detail))
+		}
+		sb.WriteString("</table>\n")
+	}
 }
 
 func renderBurnTable(sb *strings.Builder, d *Dump) {

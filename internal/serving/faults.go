@@ -70,7 +70,7 @@ func (s *Server) failDevice(d int) {
 	s.flight.Trigger(now, "device_failure", s.cfg.Cluster.Device(d).Name, -1, d)
 	s.rebuildTable()
 	for _, q := range stranded {
-		s.redispatch(q)
+		s.redispatch(q, telemetry.CauseDeviceFailure)
 	}
 	s.requestRealloc("failure")
 }
@@ -109,22 +109,35 @@ func (s *Server) recoverDevice(d int) {
 
 // redispatch returns a stranded query to the router: dropped if it already
 // burned its re-route budget (Config.MaxRetries) or cannot meet its
-// deadline, re-routed to a surviving replica otherwise.
-func (s *Server) redispatch(q liveQuery) {
+// deadline, re-routed to a surviving replica otherwise. cause records why
+// the query was stranded (device failure, stale route, mid-flight loss) on
+// the requeue and retry trace events, so attribution can name the penalty.
+func (s *Server) redispatch(q liveQuery, cause telemetry.Cause) {
 	now := s.now()
 	s.tc.Requeued.Inc()
-	s.tracer.Record(now, telemetry.EvRequeued, q.id, q.family, -1, -1)
+	if s.tracer != nil {
+		s.tracer.RecordCtx(now, telemetry.EvRequeued, q.id, q.family, -1, -1,
+			s.traceCtx(q.family, cause))
+	}
 	s.mu.Lock()
 	s.collector.Requeued(now, q.family)
-	if q.retries >= s.cfg.MaxRetries || q.deadline <= now {
+	if q.retries >= s.cfg.MaxRetries {
 		s.mu.Unlock()
-		s.recordDrop(q)
+		s.recordDrop(q, telemetry.CauseRetryBudget)
+		return
+	}
+	if q.deadline <= now {
+		s.mu.Unlock()
+		s.recordDrop(q, telemetry.CauseExpired)
 		return
 	}
 	q.retries++
 	s.collector.Retried(now, q.family)
 	s.mu.Unlock()
 	s.tc.Retried.Inc()
-	s.tracer.Record(now, telemetry.EvRetried, q.id, q.family, -1, -1)
+	if s.tracer != nil {
+		s.tracer.RecordCtx(now, telemetry.EvRetried, q.id, q.family, -1, -1,
+			s.traceCtx(q.family, cause))
+	}
 	s.dispatch(q)
 }

@@ -75,6 +75,9 @@ func TestMetricsPrometheusNegotiation(t *testing.T) {
 		"# HELP queries_arrived_total ",
 		"# TYPE queries_arrived_total counter\nqueries_arrived_total 1\n",
 		"# TYPE devices_up gauge\ndevices_up 4\n",
+		"# TYPE query_latency_seconds histogram",
+		`query_latency_seconds_bucket{family="efficientnet",le="+Inf"} 1`,
+		`query_latency_seconds_count{family="efficientnet"} 1`,
 	} {
 		if !strings.Contains(body, w) {
 			t.Fatalf("prometheus format missing %q:\n%s", w, body)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"proteus/internal/overload"
+	"proteus/internal/telemetry"
 	"proteus/internal/tsdb"
 )
 
@@ -30,7 +31,7 @@ func TestMaxRetriesZeroDropsStranded(t *testing.T) {
 		deadline: s.now() + time.Minute,
 		done:     make(chan Response, 1),
 	}
-	s.redispatch(lq)
+	s.redispatch(lq, telemetry.CauseDeviceFailure)
 	resp := <-lq.done
 	if resp.Outcome != OutcomeDropped {
 		t.Fatalf("outcome %s, want dropped (budget 0)", resp.Outcome)
@@ -66,7 +67,7 @@ func TestMaxRetriesTwoAllowsSecondRetry(t *testing.T) {
 		}
 	}
 	first := mk(1, 1)
-	s.redispatch(first)
+	s.redispatch(first, telemetry.CauseDeviceFailure)
 	if resp := <-first.done; resp.Outcome == "" {
 		t.Fatal("retried query got no response")
 	}
@@ -75,7 +76,7 @@ func TestMaxRetriesTwoAllowsSecondRetry(t *testing.T) {
 	}
 
 	spent := mk(2, 2)
-	s.redispatch(spent)
+	s.redispatch(spent, telemetry.CauseDeviceFailure)
 	if resp := <-spent.done; resp.Outcome != OutcomeDropped {
 		t.Fatalf("outcome %s, want dropped (budget exhausted)", resp.Outcome)
 	}

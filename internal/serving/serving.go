@@ -16,13 +16,16 @@ import (
 	"os"
 	"path/filepath"
 	rpprof "runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"proteus/internal/allocator"
+	"proteus/internal/attrib"
 	"proteus/internal/batching"
+	"proteus/internal/buildinfo"
 	"proteus/internal/cluster"
 	"proteus/internal/controlplane"
 	"proteus/internal/flightrec"
@@ -204,6 +207,10 @@ type Server struct {
 	rc           telemetry.RouterCounters
 	nextID       atomic.Uint64
 	nextBatch    atomic.Int64
+	// planSeq is the audit-log sequence number of the plan currently in
+	// force, stamped onto trace events for latency attribution. Written on
+	// the control loop, read from data-path goroutines, hence atomic.
+	planSeq atomic.Int32
 
 	// draining refuses new queries while in-flight ones (counted by
 	// inflight) finish — the graceful-shutdown half of overload protection.
@@ -240,6 +247,9 @@ func NewServer(cfg Config) (*Server, error) {
 		s.byName[f.Name] = q
 		s.slos = append(s.slos, profiles.FamilySLO(f, cfg.SLOMultiplier))
 	}
+	// Ring-wrap evictions surface as trace_dropped_total so truncated
+	// traces are visible to attribution (both arguments are nil-safe).
+	cfg.Tracer.SetDropCounter(cfg.Telemetry.Counter("trace_dropped_total"))
 	s.collector = metrics.NewCollector(cfg.MetricsInterval, models.FamilyNames(cfg.Families))
 	s.stats = controlplane.NewStats(len(cfg.Families), int(cfg.ControlPeriod/time.Second), 1.5)
 	s.controller = controlplane.NewController(
@@ -291,6 +301,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serving: initial allocation: %w", err)
 	}
+	s.planSeq.Store(int32(s.controller.LastPlanSeq()))
 	s.applyPlan(plan, true)
 
 	for _, w := range s.workers {
@@ -468,13 +479,15 @@ func (s *Server) applyOverloadChanges(changes []overload.Change) {
 		if ch.Kind == overload.Restore {
 			kind = telemetry.EvDegradeEnd
 		}
-		s.tracer.Record(ch.At, kind, 0, ch.Family, -1, ch.Level)
+		s.tracer.RecordCtx(ch.At, kind, 0, ch.Family, -1, ch.Level,
+			telemetry.Ctx{Plan: s.planSeq.Load(), Episode: int32(ch.Episode)})
 		s.controller.NoteOverload(controlplane.OverloadRecord{
-			At:     ch.At,
-			Family: ch.Family,
-			Kind:   string(ch.Kind),
-			Level:  ch.Level,
-			Reason: ch.Reason,
+			At:      ch.At,
+			Family:  ch.Family,
+			Kind:    string(ch.Kind),
+			Level:   ch.Level,
+			Episode: ch.Episode,
+			Reason:  ch.Reason,
 		})
 		// A degradation opening is the overload incident's leading edge;
 		// escalations and restores are just episode progress.
@@ -526,6 +539,7 @@ func (s *Server) maybeReallocate(trigger string) {
 	if err != nil {
 		return // keep serving on the old plan
 	}
+	s.planSeq.Store(int32(s.controller.LastPlanSeq()))
 	s.applyPlan(plan, false)
 	if trigger == "failure" {
 		s.mu.Lock()
@@ -614,24 +628,42 @@ func (s *Server) syncGuardPlan() {
 }
 
 // pickDevice routes one query under the server lock, consulting the
-// overload guard when enabled. Returns -1 when the query should be dropped:
-// no serving device, admission-fraction shed, or — with the guard on — a
-// deadline admission rejection (the query provably cannot meet its SLO
-// behind the picked device's backlog).
-func (s *Server) pickDevice(now time.Duration, q liveQuery) int {
+// overload guard when enabled. Returns -1 when the query should be dropped
+// (the cause distinguishes no serving device / admission-fraction shed from
+// — with the guard on — a deadline admission rejection, where the query
+// provably cannot meet its SLO behind the picked device's backlog).
+func (s *Server) pickDevice(now time.Duration, q liveQuery) (int, telemetry.Cause) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.guard == nil {
-		return s.table.Pick(q.family, s.rng)
+		d := s.table.Pick(q.family, s.rng)
+		if d < 0 {
+			return -1, telemetry.CauseNoRoute
+		}
+		return d, telemetry.CauseNone
 	}
 	d := s.table.PickExcluding(q.family, s.rng, func(dev int) bool {
 		return s.guard.Banned(q.family, dev)
 	})
 	//lint:allow lockorder established order Server.mu → Guard.mu (also liveWorker.mu → Guard.mu); Guard methods are leaf locks that never call back into serving
 	if d >= 0 && !s.guard.Admit(now, d, q.deadline) {
-		return -1
+		return -1, telemetry.CauseShedAdmission
 	}
-	return d
+	if d < 0 {
+		return -1, telemetry.CauseNoRoute
+	}
+	return d, telemetry.CauseNone
+}
+
+// traceCtx assembles the causal context stamped onto trace events: the plan
+// in force, the family's active degradation episode, and the event's cause.
+// Call only when the tracer is non-nil — the guard lookup is not free.
+func (s *Server) traceCtx(family int, cause telemetry.Cause) telemetry.Ctx {
+	ctx := telemetry.Ctx{Plan: s.planSeq.Load(), Cause: cause}
+	if s.guard != nil {
+		ctx.Episode = int32(s.guard.EpisodeID(family))
+	}
+	return ctx
 }
 
 // Infer serves one query synchronously: routed, queued, batched, executed.
@@ -661,12 +693,12 @@ func (s *Server) Infer(family string) Response {
 	if s.draining.Load() {
 		// Graceful drain: refuse new work immediately; in-flight batches
 		// keep executing.
-		s.recordDrop(lq)
+		s.recordDrop(lq, telemetry.CauseDraining)
 		return <-lq.done
 	}
-	d := s.pickDevice(now, lq)
+	d, cause := s.pickDevice(now, lq)
 	if d < 0 {
-		s.recordDrop(lq)
+		s.recordDrop(lq, cause)
 		return <-lq.done
 	}
 	s.tracer.Record(now, telemetry.EvRoute, id, q, d, -1)
@@ -675,19 +707,22 @@ func (s *Server) Infer(family string) Response {
 }
 
 func (s *Server) dispatch(q liveQuery) {
-	d := s.pickDevice(s.now(), q)
+	d, cause := s.pickDevice(s.now(), q)
 	if d < 0 {
-		s.recordDrop(q)
+		s.recordDrop(q, cause)
 		return
 	}
 	s.tracer.Record(s.now(), telemetry.EvRoute, q.id, q.family, d, -1)
 	s.workers[d].enqueue(q)
 }
 
-func (s *Server) recordDrop(q liveQuery) {
+func (s *Server) recordDrop(q liveQuery, cause telemetry.Cause) {
 	now := s.now()
 	s.tc.Dropped.Inc()
-	s.tracer.Record(now, telemetry.EvDropped, q.id, q.family, -1, -1)
+	if s.tracer != nil {
+		s.tracer.RecordCtx(now, telemetry.EvDropped, q.id, q.family, -1, -1,
+			s.traceCtx(q.family, cause))
+	}
 	s.recorder.Violation(now, q.family)
 	s.mu.Lock()
 	s.collector.Dropped(now, q.family)
@@ -709,10 +744,16 @@ func (s *Server) recordCompletion(q liveQuery, variant string, accuracy float64,
 	served := now <= q.deadline
 	if served {
 		s.tc.Served.Inc()
-		s.tracer.Record(now, telemetry.EvDone, q.id, q.family, device, batch)
+		if s.tracer != nil {
+			s.tracer.RecordCtx(now, telemetry.EvDone, q.id, q.family, device, batch,
+				s.traceCtx(q.family, telemetry.CauseNone))
+		}
 	} else {
 		s.tc.Late.Inc()
-		s.tracer.Record(now, telemetry.EvLate, q.id, q.family, device, batch)
+		if s.tracer != nil {
+			s.tracer.RecordCtx(now, telemetry.EvLate, q.id, q.family, device, batch,
+				s.traceCtx(q.family, telemetry.CauseNone))
+		}
 		s.recorder.Violation(now, q.family)
 	}
 	// Per-phase latency decomposition: difference the lifecycle timestamps
@@ -786,6 +827,9 @@ type Health struct {
 	// Overload is the guard's snapshot (Enabled false when the guard is
 	// off); Overload.Episodes lists families under emergency degradation.
 	Overload overload.State `json:"overload"`
+	// Build identifies the serving binary (go version, module, VCS
+	// revision), so probes and dashboards can tell which build is live.
+	Build buildinfo.Info `json:"build"`
 }
 
 // Health returns the current device health mask.
@@ -793,7 +837,7 @@ func (s *Server) Health() Health {
 	s.mu.Lock()
 	downCopy := append([]bool(nil), s.down...)
 	s.mu.Unlock()
-	h := Health{Status: "ok", Total: len(downCopy)}
+	h := Health{Status: "ok", Total: len(downCopy), Build: buildinfo.Get()}
 	h.Draining = s.draining.Load()
 	h.Overload = s.guard.State()
 	for d, dn := range downCopy {
@@ -830,6 +874,9 @@ func (s *Server) Health() Health {
 //	                              ?profile=cpu,heap also capture pprof
 //	                              profiles next to the bundle (live mode,
 //	                              needs an incident directory)
+//	GET  /debug/query?id=N      → live SLO attribution for one query: its
+//	                              latency waterfall, causal joins and blame
+//	                              label JSON (404 if not in the trace)
 //	GET  /debug/pprof/...       → net/http/pprof profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -864,6 +911,15 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "# HELP uptime_seconds Seconds since server start.\n# TYPE uptime_seconds gauge\nuptime_seconds %d\n",
 				int64(s.now()/time.Second))
 			if err := s.registry.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			// The collector's log-linear latency histograms export as one
+			// native Prometheus histogram family (cumulative le buckets).
+			s.mu.Lock()
+			err := s.collector.WritePrometheusLatency(w)
+			s.mu.Unlock()
+			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 			return
@@ -911,6 +967,30 @@ func (s *Server) Handler() http.Handler {
 			}
 		}
 		writeJSON(w, b)
+	})
+	mux.HandleFunc("/debug/query", func(w http.ResponseWriter, r *http.Request) {
+		if s.tracer == nil {
+			http.Error(w, "lifecycle tracer disabled", http.StatusNotImplemented)
+			return
+		}
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil || id == 0 {
+			http.Error(w, "id parameter required (positive query id)", http.StatusBadRequest)
+			return
+		}
+		rep := attrib.Analyze(attrib.Input{
+			Events:       s.tracer.Events(),
+			Plans:        s.History(),
+			FamilyNames:  models.FamilyNames(s.cfg.Families),
+			TraceDropped: s.tracer.Dropped(),
+		})
+		for i := range rep.Queries {
+			if rep.Queries[i].Query == id {
+				writeJSON(w, &rep.Queries[i])
+				return
+			}
+		}
+		http.Error(w, "query not in trace (or unfinished)", http.StatusNotFound)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

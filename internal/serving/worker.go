@@ -150,21 +150,33 @@ func (w *liveWorker) setHosted(ref *allocator.VariantRef, loadDelay time.Duratio
 }
 
 func (w *liveWorker) enqueue(q liveQuery) {
+	// Resolve the causal stamps (plan seq, overload episode) before taking
+	// w.mu: traceCtx reads the guard's episode id under Guard.mu, and that
+	// acquisition stays outside the worker lock.
+	var ctx telemetry.Ctx
+	if w.sys.tracer != nil {
+		ctx = w.sys.traceCtx(q.family, telemetry.CauseNone)
+	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		w.sys.recordDrop(q)
+		w.sys.recordDrop(q, telemetry.CauseDraining)
 		return
 	}
 	if w.down {
 		// Routed before the table caught up with the failure; bounce back.
 		w.mu.Unlock()
-		w.sys.redispatch(q)
+		w.sys.redispatch(q, telemetry.CauseStaleRoute)
 		return
 	}
 	now := w.sys.now()
 	w.noteArrival(now)
-	w.sys.tracer.Record(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1) //lint:allow lockorder established order liveWorker.mu → Tracer.mu; the tracer's bounded ring lock is a leaf that never calls out
+	if tr := w.sys.tracer; tr != nil {
+		// The enqueue event carries the plan and overload episode in force,
+		// anchoring the attribution engine's causal joins.
+		//lint:allow lockorder established order liveWorker.mu → Tracer.mu; the tracer's ring lock is a leaf that never calls out
+		tr.RecordCtx(now, telemetry.EvEnqueue, q.id, q.family, w.dev.ID, -1, ctx)
+	}
 	q.enqueueAt = now
 	w.queue = append(w.queue, q)
 	w.syncDepthLocked() //lint:allow lockorder established order liveWorker.mu → Guard.mu (same direction as Server.mu → Guard.mu); Guard methods are leaf locks that never call back into serving
@@ -274,7 +286,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 			w.syncDepthLocked()
 			w.mu.Unlock()
 			for _, q := range pending {
-				w.sys.recordDrop(q)
+				w.sys.recordDrop(q, telemetry.CauseDraining)
 			}
 			return
 		}
@@ -285,7 +297,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 			w.syncDepthLocked()
 			w.mu.Unlock()
 			for _, q := range pending {
-				w.sys.redispatch(q)
+				w.sys.redispatch(q, telemetry.CauseDeviceFailure)
 			}
 			w.idleWait()
 			continue
@@ -296,7 +308,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 			w.syncDepthLocked()
 			w.mu.Unlock()
 			for _, q := range pending {
-				w.sys.recordDrop(q)
+				w.sys.recordDrop(q, telemetry.CauseNoRoute)
 			}
 			w.idleWait()
 			continue
@@ -376,7 +388,7 @@ func (w *liveWorker) loop(wg *sync.WaitGroup) {
 		w.mu.Unlock()
 
 		for _, q := range dropped {
-			w.sys.recordDrop(q)
+			w.sys.recordDrop(q, telemetry.CausePolicyDrop)
 		}
 		switch d.Action {
 		case batching.Execute:
@@ -435,7 +447,7 @@ func (w *liveWorker) executeBatch(hosted allocator.VariantRef, batch []liveQuery
 	if died {
 		// The device failed mid-execution: results are lost, re-dispatch.
 		for _, q := range batch {
-			w.sys.redispatch(q)
+			w.sys.redispatch(q, telemetry.CauseMidflight)
 		}
 		return
 	}

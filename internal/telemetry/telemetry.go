@@ -217,6 +217,7 @@ var standardHelp = map[string]string{
 	"realloc_fallback_total":      "Plans produced by the fallback allocator.",
 	"realloc_carry_forward_total": "Last-resort projections of the previous plan.",
 	"realloc_failed_total":        "Re-allocation attempts where every stage errored.",
+	"trace_dropped_total":         "Trace events evicted by ring-buffer wrap (explanations may be incomplete).",
 }
 
 // SetHelp registers Prometheus help text for a metric name (overriding the

@@ -184,6 +184,112 @@ func TestExportValidJSON(t *testing.T) {
 	}
 }
 
+func TestRecordCtxCausalContext(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(1*time.Millisecond, EvArrival, 5, 1, -1, -1)
+	tr.RecordCtx(2*time.Millisecond, EvEnqueue, 5, 1, 3, -1, Ctx{Plan: 4, Episode: 2})
+	tr.RecordCtx(3*time.Millisecond, EvDropped, 5, 1, 3, -1, Ctx{Plan: 4, Cause: CauseExpired})
+	evs := tr.Events()
+	if evs[0].Plan != 0 || evs[0].Episode != 0 || evs[0].Cause != CauseNone {
+		t.Fatalf("Record should stamp zero context: %+v", evs[0])
+	}
+	if evs[1].Plan != 4 || evs[1].Episode != 2 || evs[1].Cause != CauseNone {
+		t.Fatalf("enqueue context lost: %+v", evs[1])
+	}
+	if evs[2].Cause != CauseExpired {
+		t.Fatalf("drop cause lost: %+v", evs[2])
+	}
+
+	var nilTr *Tracer
+	nilTr.RecordCtx(time.Second, EvArrival, 1, 0, 0, -1, Ctx{Plan: 1})
+	nilTr.SetDropCounter(nil)
+	if nilTr.Len() != 0 {
+		t.Fatal("nil tracer should be inert")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(1234567*time.Nanosecond, EvArrival, 9, 2, -1, -1)
+	tr.RecordCtx(2*time.Millisecond, EvEnqueue, 9, 2, 1, -1, Ctx{Plan: 3, Episode: 1})
+	tr.RecordCtx(3*time.Millisecond, EvRequeued, 9, 2, 1, -1, Ctx{Plan: 3, Cause: CauseDeviceFailure})
+	tr.Record(4*time.Millisecond, EvDone, 9, 2, 2, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"nonsense"}`)); err == nil {
+		t.Fatal("unknown kind should fail the parse")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"done","cause":"nonsense"}`)); err == nil {
+		t.Fatal("unknown cause should fail the parse")
+	}
+	if evs, err := ReadJSONL(strings.NewReader("\n\n")); err != nil || len(evs) != 0 {
+		t.Fatalf("blank trace: %v %v", evs, err)
+	}
+}
+
+func TestTracerDropCounter(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(4)
+	tr.SetDropCounter(r.Counter("trace_dropped_total"))
+	for i := 0; i < 10; i++ {
+		tr.Record(time.Duration(i)*time.Millisecond, EvArrival, uint64(i), 0, -1, -1)
+	}
+	if got := r.Counter("trace_dropped_total").Value(); got != 6 {
+		t.Fatalf("trace_dropped_total = %d, want 6", got)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6", tr.Dropped())
+	}
+	if standardHelp["trace_dropped_total"] == "" {
+		t.Fatal("trace_dropped_total needs standard help text")
+	}
+}
+
+func TestCauseNames(t *testing.T) {
+	for c := Cause(0); c < numCauses; c++ {
+		if c != CauseNone && c.String() == "" {
+			t.Fatalf("cause %d has no name", c)
+		}
+		back, ok := CauseByName(c.String())
+		if !ok || back != c {
+			t.Fatalf("cause %d does not round-trip through %q", c, c.String())
+		}
+	}
+	if CauseDeviceFailure.String() != "device_failure" || CauseStaleRoute.String() != "stale_route" {
+		t.Fatalf("stable cause names changed")
+	}
+	if got := Cause(200).String(); got != "cause(200)" {
+		t.Fatalf("out-of-range cause name: %q", got)
+	}
+	if _, ok := CauseByName("bogus"); ok {
+		t.Fatal("bogus cause should not resolve")
+	}
+	k, ok := KindByName("batch_formed")
+	if !ok || k != EvBatchFormed {
+		t.Fatalf("KindByName(batch_formed) = %v %v", k, ok)
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Fatal("bogus kind should not resolve")
+	}
+}
+
 func TestEventKindNames(t *testing.T) {
 	for k := EventKind(0); k < numEventKinds; k++ {
 		if k.String() == "" {

@@ -1,8 +1,11 @@
 package telemetry
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
@@ -75,6 +78,99 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
 
+// KindByName maps a wire name back to its EventKind. ok is false for
+// unknown names.
+func KindByName(name string) (EventKind, bool) {
+	for k, n := range eventKindNames {
+		if n == name {
+			return EventKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Cause classifies why a query was dropped, requeued, or retried. It rides
+// on EvDropped / EvRequeued / EvRetried events so latency attribution can
+// tell a failure re-route from an admission shed without re-deriving engine
+// state.
+type Cause uint8
+
+const (
+	// CauseNone: the event needs no cause (the zero value).
+	CauseNone Cause = iota
+	// CauseDeviceFailure: the query was stranded in a failed device's queue
+	// or mailbox.
+	CauseDeviceFailure
+	// CauseStaleRoute: the query was routed to a device that was already
+	// down (the routing table lagged the failure).
+	CauseStaleRoute
+	// CauseMidflight: the device died while the query's batch was executing
+	// (live mode only; the simulator completes in-flight batches).
+	CauseMidflight
+	// CauseShedAdmission: deadline admission control shed the query at
+	// routing time.
+	CauseShedAdmission
+	// CauseNoRoute: no hosted variant / all candidate devices banned.
+	CauseNoRoute
+	// CauseExpired: the query's deadline passed before it could be served.
+	CauseExpired
+	// CauseRetryBudget: a stranded query exhausted its retry budget.
+	CauseRetryBudget
+	// CausePolicyDrop: the batching policy shed the query.
+	CausePolicyDrop
+	// CauseDraining: the server refused the query during graceful shutdown
+	// (live mode only).
+	CauseDraining
+
+	numCauses
+)
+
+var causeNames = [numCauses]string{
+	CauseNone:          "",
+	CauseDeviceFailure: "device_failure",
+	CauseStaleRoute:    "stale_route",
+	CauseMidflight:     "midflight",
+	CauseShedAdmission: "shed_admission",
+	CauseNoRoute:       "no_route",
+	CauseExpired:       "expired",
+	CauseRetryBudget:   "retry_budget",
+	CausePolicyDrop:    "policy_drop",
+	CauseDraining:      "draining",
+}
+
+// String returns the stable wire name of the cause ("" for CauseNone).
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// CauseByName maps a wire name back to its Cause; "" maps to CauseNone.
+func CauseByName(name string) (Cause, bool) {
+	for c, n := range causeNames {
+		if n == name {
+			return Cause(c), true
+		}
+	}
+	return 0, false
+}
+
+// Ctx is the causal context stamped onto an event: which control plan and
+// overload episode were active, and — for drop/requeue/retry events — why
+// the query left its normal path. The zero Ctx means "no context", so call
+// sites without causal information keep using Record unchanged.
+type Ctx struct {
+	// Plan is the sequence number of the control plan in force (0 when no
+	// plan has been applied yet or the engine doesn't track plans).
+	Plan int32
+	// Episode is the overload guard's emergency-degradation episode id
+	// active for the query's family (0 when none).
+	Episode int32
+	// Cause classifies drop/requeue/retry events (CauseNone otherwise).
+	Cause Cause
+}
+
 // Event is one timestamped point in a query's lifecycle. At is relative to
 // the trace origin: the virtual clock in simulation, time since server
 // start in live serving. Device and Batch are -1 when not applicable.
@@ -86,6 +182,11 @@ type Event struct {
 	Family int32
 	Device int32
 	Batch  int32
+	// Plan, Episode, and Cause are the causal context (see Ctx); all zero
+	// for events recorded through Record.
+	Plan    int32
+	Episode int32
+	Cause   Cause
 }
 
 // Tracer records lifecycle events into a bounded ring buffer: when more
@@ -96,6 +197,10 @@ type Tracer struct {
 	mu   sync.Mutex
 	buf  []Event
 	next uint64 // total events ever recorded; buf index = (next-1) % cap
+	// dropCounter, when set, is incremented once per ring-wrap eviction so
+	// overflow is visible on /metrics (trace_dropped_total). Counter.Inc is
+	// nil-safe, so an unset counter costs nothing extra.
+	dropCounter *Counter
 }
 
 // DefaultTraceCapacity bounds tracer memory when callers don't choose:
@@ -111,27 +216,55 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{buf: make([]Event, 0, capacity)}
 }
 
-// Record appends a lifecycle event. No-op on a nil tracer.
+// Record appends a lifecycle event with no causal context. No-op on a nil
+// tracer.
 func (t *Tracer) Record(at time.Duration, kind EventKind, query uint64, family, device, batch int) {
+	t.RecordCtx(at, kind, query, family, device, batch, Ctx{})
+}
+
+// RecordCtx appends a lifecycle event carrying causal context. No-op on a
+// nil tracer. The nil check lives in this thin wrapper so it inlines into
+// call sites and the disabled path stays a branch, not a call.
+func (t *Tracer) RecordCtx(at time.Duration, kind EventKind, query uint64, family, device, batch int, ctx Ctx) {
 	if t == nil {
 		return
 	}
+	t.recordCtx(at, kind, query, family, device, batch, ctx)
+}
+
+func (t *Tracer) recordCtx(at time.Duration, kind EventKind, query uint64, family, device, batch int, ctx Ctx) {
 	t.mu.Lock()
 	ev := Event{
-		At:     at,
-		Seq:    t.next,
-		Query:  query,
-		Kind:   kind,
-		Family: int32(family),
-		Device: int32(device),
-		Batch:  int32(batch),
+		At:      at,
+		Seq:     t.next,
+		Query:   query,
+		Kind:    kind,
+		Family:  int32(family),
+		Device:  int32(device),
+		Batch:   int32(batch),
+		Plan:    ctx.Plan,
+		Episode: ctx.Episode,
+		Cause:   ctx.Cause,
 	}
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
 	} else {
 		t.buf[t.next%uint64(cap(t.buf))] = ev
+		t.dropCounter.Inc()
 	}
 	t.next++
+	t.mu.Unlock()
+}
+
+// SetDropCounter registers the counter incremented on every ring-wrap
+// eviction (typically trace_dropped_total from a Registry). No-op on a nil
+// tracer.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropCounter = c
 	t.mu.Unlock()
 }
 
@@ -177,17 +310,74 @@ func (t *Tracer) Events() []Event {
 
 // WriteJSONL writes one JSON object per line per event, in record order.
 // Fields are emitted in a fixed order via fmt so that identical event
-// sequences serialize to identical bytes.
+// sequences serialize to identical bytes. Timestamps are nanoseconds so the
+// attribution engine's conservation invariant survives a round-trip.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	for _, ev := range t.Events() {
 		_, err := fmt.Fprintf(w,
-			`{"at_us":%d,"seq":%d,"kind":%q,"query":%d,"family":%d,"device":%d,"batch":%d}`+"\n",
-			ev.At.Microseconds(), ev.Seq, ev.Kind.String(), ev.Query, ev.Family, ev.Device, ev.Batch)
+			`{"at_ns":%d,"seq":%d,"kind":%q,"query":%d,"family":%d,"device":%d,"batch":%d,"plan":%d,"episode":%d,"cause":%q}`+"\n",
+			ev.At.Nanoseconds(), ev.Seq, ev.Kind.String(), ev.Query, ev.Family, ev.Device, ev.Batch,
+			ev.Plan, ev.Episode, ev.Cause.String())
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ReadJSONL parses a trace written by WriteJSONL back into events. Unknown
+// kinds or causes fail the parse rather than silently mis-attributing.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var wire struct {
+			AtNS    int64  `json:"at_ns"`
+			Seq     uint64 `json:"seq"`
+			Kind    string `json:"kind"`
+			Query   uint64 `json:"query"`
+			Family  int32  `json:"family"`
+			Device  int32  `json:"device"`
+			Batch   int32  `json:"batch"`
+			Plan    int32  `json:"plan"`
+			Episode int32  `json:"episode"`
+			Cause   string `json:"cause"`
+		}
+		if err := json.Unmarshal([]byte(text), &wire); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		kind, ok := KindByName(wire.Kind)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: trace line %d: unknown event kind %q", line, wire.Kind)
+		}
+		cause, ok := CauseByName(wire.Cause)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: trace line %d: unknown cause %q", line, wire.Cause)
+		}
+		out = append(out, Event{
+			At:      time.Duration(wire.AtNS),
+			Seq:     wire.Seq,
+			Query:   wire.Query,
+			Kind:    kind,
+			Family:  wire.Family,
+			Device:  wire.Device,
+			Batch:   wire.Batch,
+			Plan:    wire.Plan,
+			Episode: wire.Episode,
+			Cause:   cause,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return out, nil
 }
 
 // WriteChromeTrace writes the buffered events in Chrome trace_event JSON
@@ -206,8 +396,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			sep = ""
 		}
 		_, err := fmt.Fprintf(w,
-			`  {"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"query":%d,"seq":%d,"batch":%d}}%s`+"\n",
-			ev.Kind.String(), ev.At.Microseconds(), ev.Device+1, ev.Family, ev.Query, ev.Seq, ev.Batch, sep)
+			`  {"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"query":%d,"seq":%d,"batch":%d,"plan":%d,"episode":%d,"cause":%q}}%s`+"\n",
+			ev.Kind.String(), ev.At.Microseconds(), ev.Device+1, ev.Family, ev.Query, ev.Seq, ev.Batch,
+			ev.Plan, ev.Episode, ev.Cause.String(), sep)
 		if err != nil {
 			return err
 		}

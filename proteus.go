@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"proteus/internal/allocator"
+	"proteus/internal/attrib"
 	"proteus/internal/batching"
 	"proteus/internal/cluster"
 	"proteus/internal/controlplane"
@@ -163,6 +164,14 @@ type (
 	PhaseStat = tsdb.PhaseStat
 	// PhaseDurations is one query's per-phase latency split.
 	PhaseDurations = tsdb.PhaseDurations
+	// AttributionInput configures one latency-attribution pass over a
+	// lifecycle trace.
+	AttributionInput = attrib.Input
+	// AttributionReport is the full attribution output: per-query latency
+	// waterfalls with blame labels, plus family/window blame tables.
+	AttributionReport = attrib.Report
+	// Explanation is one query's attributed latency waterfall.
+	Explanation = attrib.Explanation
 )
 
 // Device types of the paper's testbed.
@@ -240,6 +249,11 @@ func NewTSDBRecorder(cfg TSDBConfig) *TSDBRecorder { return tsdb.NewRecorder(cfg
 
 // BuildRunDump assembles a run's observability outputs into a RunDump.
 func BuildRunDump(in RunDumpInput) *RunDump { return report.Build(in) }
+
+// AnalyzeAttribution runs the deterministic latency-attribution engine over
+// a lifecycle trace: per-query component waterfalls that sum exactly to the
+// end-to-end latency, with a blame label on every SLO-violated query.
+func AnalyzeAttribution(in AttributionInput) *AttributionReport { return attrib.Analyze(in) }
 
 // ReadRunDump parses a RunDump JSON file.
 func ReadRunDump(path string) (*RunDump, error) { return report.ReadDumpFile(path) }
