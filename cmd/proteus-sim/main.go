@@ -70,8 +70,13 @@ type config struct {
 	// per allocation MILP solve. Plans are byte-identical for every value
 	// ≥ 1 (extra workers only shorten solve wall-clock time); 1 is fully
 	// serial, 0 (the default) uses all cores.
-	SolverParallelism int         `json:"solver_parallelism"`
-	Trace             traceConfig `json:"trace"`
+	SolverParallelism int `json:"solver_parallelism"`
+	// SolverColdStart disables carrying the previous control period's
+	// optimal simplex basis into the next MILP solve. Warm starts change
+	// only solve wall-clock time, never the plan; the knob exists for A/B
+	// measurement of the warm-start path.
+	SolverColdStart bool        `json:"solver_cold_start"`
+	Trace           traceConfig `json:"trace"`
 	// Devices overrides cluster_size with an explicit fleet, e.g.
 	// [{"type": "cpu", "count": 4}, {"type": "v100", "count": 2}].
 	// Unknown device types are a config error, not a crash.
@@ -257,6 +262,7 @@ func main() {
 		TimeLimit:   time.Duration(cfg.SolverBudgetMS) * time.Millisecond,
 		RelGap:      0.005,
 		Parallelism: cfg.SolverParallelism,
+		ColdStart:   cfg.SolverColdStart,
 	})
 	if err != nil {
 		fatal(err)

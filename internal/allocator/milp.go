@@ -34,6 +34,12 @@ type MILPOptions struct {
 	// workers only shorten wall-clock time. 1 is fully serial; 0 (the
 	// default) uses runtime.GOMAXPROCS(0).
 	Parallelism int
+	// ColdStart disables carrying the previous solve's optimal simplex
+	// basis into the next solve of a same-shaped instance. Warm starts
+	// change only solve time, never the plan (the solver canonicalizes the
+	// root relaxation), so this knob exists for A/B measurement and as an
+	// escape hatch.
+	ColdStart bool
 	// StallNodes stops a solve early (keeping the incumbent) after that
 	// many branch-and-bound nodes without improvement. Default 3000;
 	// negative disables.
@@ -65,6 +71,7 @@ func (o *MILPOptions) withDefaults() MILPOptions {
 	out := MILPOptions{TimeLimit: 20 * time.Second, MaxNodes: 200_000, MaxBackoffs: 600, DemandFloor: 0.01, StallNodes: 3000, SwitchCost: 0.05, RelGap: 1e-6}
 	if o != nil {
 		out.PerDevice = o.PerDevice
+		out.ColdStart = o.ColdStart
 		out.Filter = o.Filter
 		if o.RelGap > 0 {
 			out.RelGap = o.RelGap
@@ -112,6 +119,30 @@ type MILP struct {
 	// prev biases device expansion toward the previous hosting to minimize
 	// model-loading churn.
 	prev *Allocation
+	// prevBasis is the canonical root-relaxation basis of the previous
+	// solve, carried forward (unless ColdStart) to warm-start the next
+	// solve when the instance shape is unchanged — the common steady-state
+	// case across control periods. Warm starts never change the plan.
+	prevBasis *lp.Basis
+}
+
+// warmBasis returns the carried basis when warm starts are enabled and the
+// previous basis matches the instance shape, else nil.
+func (m *MILP) warmBasis(p *milp.Problem) *lp.Basis {
+	if m.opts.ColdStart || m.prevBasis == nil {
+		return nil
+	}
+	if n, rows := m.prevBasis.Shape(); n != p.NumVariables() || rows != p.NumConstraints() {
+		return nil
+	}
+	return m.prevBasis
+}
+
+// noteBasis stores a solve's root basis for the next control period.
+func (m *MILP) noteBasis(sol *milp.Solution) {
+	if sol.Basis != nil {
+		m.prevBasis = sol.Basis
+	}
 }
 
 // NewMILP returns the Proteus allocator ("ilp" in the artifact configs).
@@ -364,7 +395,9 @@ func (m *MILP) solveAggregated(in *Input, demand []float64) (*Allocation, []bool
 		StallNodes:  m.opts.StallNodes,
 		Parallelism: m.opts.Parallelism,
 		WarmStart:   warm,
+		WarmBasis:   m.warmBasis(p),
 	})
+	m.noteBasis(&sol)
 	switch sol.Status {
 	case milp.Optimal, milp.Feasible:
 	case milp.Infeasible, milp.Limit:
@@ -408,7 +441,7 @@ func (m *MILP) solveAggregated(in *Input, demand []float64) (*Allocation, []bool
 
 	alloc := NewAllocation(in)
 	alloc.Optimal = sol.Status == milp.Optimal
-	alloc.Stats = solverStats(&sol, m.opts.Parallelism)
+	alloc.Stats = solverStats(&sol, m.opts.Parallelism, m.opts.TimeLimit > 0)
 	// Expand group counts to concrete devices, preferring devices that
 	// already host the same variant (minimizes loading churn).
 	used := make(map[int]bool)
@@ -559,7 +592,9 @@ func (m *MILP) solvePerDevice(in *Input, demand []float64) (*Allocation, []bool,
 		IntTol:      -1, // solver default
 		StallNodes:  m.opts.StallNodes,
 		Parallelism: m.opts.Parallelism,
+		WarmBasis:   m.warmBasis(p),
 	})
+	m.noteBasis(&sol)
 	switch sol.Status {
 	case milp.Optimal, milp.Feasible:
 	case milp.Infeasible, milp.Limit:
@@ -570,7 +605,7 @@ func (m *MILP) solvePerDevice(in *Input, demand []float64) (*Allocation, []bool,
 
 	alloc := NewAllocation(in)
 	alloc.Optimal = sol.Status == milp.Optimal
-	alloc.Stats = solverStats(&sol, m.opts.Parallelism)
+	alloc.Stats = solverStats(&sol, m.opts.Parallelism, m.opts.TimeLimit > 0)
 	for _, pr := range pairs {
 		if sol.X[pr.x] < 0.5 {
 			continue
@@ -635,14 +670,18 @@ func (m *MILP) pickDevices(group []int, ref VariantRef, count int, used map[int]
 
 // solverStats converts a branch-and-bound solution into the audit-log
 // form, sanitizing infinities (a Limit-terminated solve may carry an
-// unproven +Inf bound, which JSON cannot encode).
-func solverStats(sol *milp.Solution, parallelism int) SolverStats {
+// unproven +Inf bound, which JSON cannot encode). budgeted records whether
+// a wall-clock budget was configured for the solve — a property of the
+// configuration, not of how the solve went.
+func solverStats(sol *milp.Solution, parallelism int, budgeted bool) SolverStats {
 	st := SolverStats{
 		Objective:   sol.Objective,
 		Nodes:       sol.Nodes,
 		SolverTime:  sol.Elapsed,
 		RelGap:      -1,
 		Parallelism: milp.EffectiveParallelism(parallelism),
+		Budgeted:    budgeted,
+		TimeLimited: sol.TimeLimited,
 	}
 	if gap := sol.Gap(); !math.IsInf(gap, 0) && !math.IsNaN(gap) {
 		st.RelGap = gap

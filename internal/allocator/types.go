@@ -113,6 +113,17 @@ type SolverStats struct {
 	// Parallelism is the resolved number of concurrent LP-relaxation
 	// solvers the solve ran with (0 for allocators that never solved).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Budgeted reports that the solve ran under a configured wall-clock
+	// budget (MILPOptions.TimeLimit > 0). It depends only on configuration,
+	// never on runtime timing, so it is safe for deterministic surfaces to
+	// branch on: when set, Bound, Nodes, RelGap and TimeLimited reflect how
+	// far the optimality proof happened to get before the clock and must be
+	// dropped from byte-deterministic serializations (see
+	// controlplane.SanitizePlanRecord).
+	Budgeted bool `json:"budgeted,omitempty"`
+	// TimeLimited reports that the wall-clock budget actually fired during
+	// the final solve (diagnostics only; not byte-deterministic).
+	TimeLimited bool `json:"time_limited,omitempty"`
 }
 
 // Allocation is a complete resource-management plan.

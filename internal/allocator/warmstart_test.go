@@ -1,0 +1,79 @@
+package allocator
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMILPWarmStartMatchesColdStart re-runs the same allocator instance
+// across control periods (which arms the basis carry) and checks the plans
+// are identical to a fresh cold-start allocator's: warm starts may only
+// change solve time, never the plan.
+func TestMILPWarmStartMatchesColdStart(t *testing.T) {
+	demands := [][]float64{{40, 40}, {60, 80}, {120, 50}, {60, 80}}
+	warm := NewMILP(nil)
+	cold := NewMILP(&MILPOptions{ColdStart: true})
+	for i, d := range demands {
+		inW := testInput(t, d)
+		inC := testInput(t, d)
+		aw, err := warm.Allocate(inW)
+		if err != nil {
+			t.Fatalf("step %d warm: %v", i, err)
+		}
+		ac, err := cold.Allocate(inC)
+		if err != nil {
+			t.Fatalf("step %d cold: %v", i, err)
+		}
+		if len(aw.Hosted) != len(ac.Hosted) {
+			t.Fatalf("step %d: hosted count %d vs %d", i, len(aw.Hosted), len(ac.Hosted))
+		}
+		for dev, vw := range aw.Hosted {
+			vc := ac.Hosted[dev]
+			switch {
+			case vw == nil != (vc == nil):
+				t.Fatalf("step %d device %d: warm hosts %v, cold hosts %v", i, dev, vw, vc)
+			case vw != nil && (vw.Family != vc.Family || vw.Variant != vc.Variant):
+				t.Fatalf("step %d device %d: warm hosts %v, cold hosts %v", i, dev, vw, vc)
+			}
+		}
+		for q := range aw.Routing {
+			for dev := range aw.Routing[q] {
+				if aw.Routing[q][dev] != ac.Routing[q][dev] {
+					t.Fatalf("step %d routing[%d][%d]: warm=%v cold=%v", i, q, dev, aw.Routing[q][dev], ac.Routing[q][dev])
+				}
+			}
+		}
+		if aw.PredictedAccuracy != ac.PredictedAccuracy {
+			t.Fatalf("step %d: accuracy warm=%v cold=%v", i, aw.PredictedAccuracy, ac.PredictedAccuracy)
+		}
+	}
+	if warm.prevBasis == nil {
+		t.Fatal("warm allocator never captured a basis to carry forward")
+	}
+	if cold.prevBasis == nil {
+		// noteBasis still records it; ColdStart gates the *use*, so a later
+		// config flip can start warm immediately.
+		t.Fatal("cold allocator should still record the basis")
+	}
+	if cold.warmBasis(nil) != nil {
+		t.Fatal("ColdStart allocator must never hand out a warm basis")
+	}
+}
+
+// TestSolverStatsBudgeted pins the Budgeted/TimeLimited mapping: Budgeted
+// reflects only whether a TimeLimit was configured, independent of whether
+// the clock fired.
+func TestSolverStatsBudgeted(t *testing.T) {
+	in := testInput(t, []float64{40, 40})
+	a := NewMILP(&MILPOptions{TimeLimit: time.Minute})
+	alloc, err := a.Allocate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alloc.Stats.Budgeted {
+		t.Fatal("TimeLimit configured but Stats.Budgeted is false")
+	}
+	if alloc.Stats.TimeLimited {
+		t.Fatal("a one-minute budget cannot plausibly fire on the fixture; TimeLimited must be false")
+	}
+}

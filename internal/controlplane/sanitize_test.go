@@ -1,0 +1,82 @@
+package controlplane
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/allocator"
+)
+
+func TestSanitizePlanRecordUnbudgeted(t *testing.T) {
+	r := PlanRecord{
+		Seq:       3,
+		SolveTime: 42 * time.Millisecond,
+		Stats: allocator.SolverStats{
+			Objective:   1.5,
+			Bound:       1.6,
+			RelGap:      0.05,
+			Nodes:       17,
+			Backoffs:    2,
+			SolverTime:  40 * time.Millisecond,
+			Parallelism: 4,
+		},
+	}
+	SanitizePlanRecord(&r)
+	if r.SolveTime != 0 || r.Stats.SolverTime != 0 {
+		t.Fatalf("wall times not zeroed: %v / %v", r.SolveTime, r.Stats.SolverTime)
+	}
+	// Without a budget the proof-progress fields are deterministic and must
+	// survive sanitization untouched.
+	if r.Stats.Bound != 1.6 || r.Stats.Nodes != 17 || r.Stats.RelGap != 0.05 {
+		t.Fatalf("unbudgeted proof fields changed: %+v", r.Stats)
+	}
+	if r.Stats.Objective != 1.5 || r.Stats.Backoffs != 2 || r.Stats.Parallelism != 4 || r.Seq != 3 {
+		t.Fatalf("deterministic fields changed: %+v", r)
+	}
+}
+
+func TestSanitizePlanRecordBudgeted(t *testing.T) {
+	r := PlanRecord{
+		SolveTime: time.Second,
+		Stats: allocator.SolverStats{
+			Objective:   2.0,
+			Bound:       2.2,
+			RelGap:      0.1,
+			Nodes:       999,
+			SolverTime:  time.Second,
+			Budgeted:    true,
+			TimeLimited: true,
+		},
+	}
+	SanitizePlanRecord(&r)
+	if r.SolveTime != 0 || r.Stats.SolverTime != 0 {
+		t.Fatalf("wall times not zeroed: %v / %v", r.SolveTime, r.Stats.SolverTime)
+	}
+	// Under a budget, how far the optimality proof got is a race against
+	// the clock; every timing-tainted field must be dropped.
+	if r.Stats.Bound != 0 || r.Stats.Nodes != 0 || r.Stats.RelGap != -1 || r.Stats.TimeLimited {
+		t.Fatalf("budgeted proof fields not dropped: %+v", r.Stats)
+	}
+	if r.Stats.Objective != 2.0 || !r.Stats.Budgeted {
+		t.Fatalf("deterministic fields changed: %+v", r.Stats)
+	}
+}
+
+func TestSanitizePlansInPlace(t *testing.T) {
+	plans := []PlanRecord{
+		{SolveTime: time.Millisecond},
+		{SolveTime: time.Second, Stats: allocator.SolverStats{Budgeted: true, Nodes: 5}},
+	}
+	out := SanitizePlans(plans)
+	if &out[0] != &plans[0] {
+		t.Fatal("SanitizePlans must sanitize in place and return the same slice")
+	}
+	for i := range plans {
+		if plans[i].SolveTime != 0 {
+			t.Fatalf("plan %d: SolveTime not zeroed", i)
+		}
+	}
+	if plans[1].Stats.Nodes != 0 {
+		t.Fatal("budgeted plan Nodes not dropped")
+	}
+}

@@ -278,14 +278,11 @@ func (r *Recorder) Trigger(now time.Duration, reason, detail string, family, dev
 	b.Samples = append([]tsdb.Sample(nil), r.samples...)
 	b.Burns = append([]tsdb.BurnEvent(nil), r.burns...)
 	b.Phases = append([]tsdb.PhaseStat(nil), r.phases...)
-	b.Plans = append([]controlplane.PlanRecord(nil), plans...)
-	for i := range b.Plans {
-		// Solver wall times are real elapsed time even in the simulator;
-		// zero them so same-seed bundles stay byte-identical (the report
-		// builder does the same for run dumps).
-		b.Plans[i].SolveTime = 0
-		b.Plans[i].Stats.SolverTime = 0
-	}
+	// Solver wall times are real elapsed time even in the simulator, and a
+	// budgeted solve's proof progress is timing-dependent; sanitize the
+	// copy so same-seed bundles stay byte-identical (every serialization
+	// surface shares this helper).
+	b.Plans = controlplane.SanitizePlans(append([]controlplane.PlanRecord(nil), plans...))
 	b.Runtime = append([]RuntimeSnap(nil), r.runtime...)
 	r.incidents = appendBounded(r.incidents, b, r.cfg.MaxIncidents)
 	dir := r.cfg.Dir

@@ -1,0 +1,316 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"proteus/internal/numeric"
+)
+
+// lpShape names one random-instance generator used by the seeded
+// sparse-vs-dense property tests. Four shapes cover the regimes the two
+// solvers disagree on first when one of them is wrong: square dense rows,
+// wide (many columns, few rows), tall (many rows, few columns), and blocky
+// (independent variable groups the presolve splits into sub-LPs).
+type lpShape struct {
+	name string
+	n, m int
+	// density is the per-term inclusion probability; block > 0 partitions
+	// variables into that many independent groups (each row draws from one).
+	density float64
+	block   int
+}
+
+var lpShapes = []lpShape{
+	{name: "square", n: 12, m: 12, density: 0.5},
+	{name: "wide", n: 30, m: 6, density: 0.4},
+	{name: "tall", n: 6, m: 24, density: 0.6},
+	{name: "blocky", n: 24, m: 16, density: 0.6, block: 4},
+}
+
+// buildSeededLP generates a random LP that is feasible by construction:
+// right-hand sides are derived from a random interior point, so Optimal (or
+// Unbounded, when open upper bounds line up with the objective) is the only
+// legal outcome.
+func buildSeededLP(seed uint64, sh lpShape) *Problem {
+	rng := numeric.NewRNG(seed)
+	p := NewProblem()
+	vars := make([]int, sh.n)
+	x0 := make([]float64, sh.n)
+	for i := range vars {
+		lo := math.Floor(rng.Float64()*8 - 4)
+		hi := lo + 1 + rng.Float64()*9
+		if rng.Float64() < 0.15 {
+			hi = math.Inf(1)
+		}
+		vars[i] = p.AddVariable("v", lo, hi)
+		if math.IsInf(hi, 1) {
+			x0[i] = lo + rng.Float64()*4
+		} else {
+			x0[i] = lo + rng.Float64()*(hi-lo)
+		}
+		p.SetObjective(vars[i], math.Floor(rng.Float64()*10-5))
+	}
+	for r := 0; r < sh.m; r++ {
+		group := -1
+		if sh.block > 0 {
+			group = r % sh.block
+		}
+		var terms []Term
+		lhs0 := 0.0
+		for i := 0; i < sh.n; i++ {
+			if group >= 0 && i%sh.block != group {
+				continue
+			}
+			if rng.Float64() > sh.density {
+				continue
+			}
+			c := math.Floor(rng.Float64()*9 - 4)
+			if c == 0 {
+				continue
+			}
+			terms = append(terms, Term{Var: vars[i], Coef: c})
+			lhs0 += c * x0[i]
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		rel := []Relation{LE, GE, EQ}[rng.Intn(3)]
+		rhs := lhs0
+		switch rel {
+		case LE:
+			rhs += rng.Float64() * 4
+		case GE:
+			rhs -= rng.Float64() * 4
+		}
+		p.AddConstraint(terms, rel, rhs)
+	}
+	return p
+}
+
+// checkFeasible verifies x satisfies every constraint and bound of p.
+func checkFeasible(t *testing.T, p *Problem, x []float64, tol float64) {
+	t.Helper()
+	for i := 0; i < p.NumConstraints(); i++ {
+		terms, rel, rhs := p.Constraint(i)
+		lhs := 0.0
+		for _, tm := range terms {
+			lhs += tm.Coef * x[tm.Var]
+		}
+		switch rel {
+		case LE:
+			if lhs > rhs+tol {
+				t.Fatalf("row %d: %v <= %v violated", i, lhs, rhs)
+			}
+		case GE:
+			if lhs < rhs-tol {
+				t.Fatalf("row %d: %v >= %v violated", i, lhs, rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-rhs) > tol {
+				t.Fatalf("row %d: %v == %v violated", i, lhs, rhs)
+			}
+		}
+	}
+	for v := 0; v < p.NumVariables(); v++ {
+		lo, hi := p.Bounds(v)
+		if x[v] < lo-tol || x[v] > hi+tol {
+			t.Fatalf("var %d: %v outside [%v, %v]", v, x[v], lo, hi)
+		}
+	}
+}
+
+// TestSparseMatchesDense is the cross-solver oracle: on every seeded shape
+// the presolved sparse revised simplex and the dense two-phase tableau must
+// agree on status and, when Optimal, on the objective — and the sparse
+// solution must be feasible in the *original* (un-presolved) problem, which
+// exercises the postsolve round trip on every instance.
+func TestSparseMatchesDense(t *testing.T) {
+	seeds := []uint64{1, 7, 42, 1234, 99991, 31337}
+	for _, sh := range lpShapes {
+		for _, seed := range seeds {
+			p := buildSeededLP(seed, sh)
+			sparse, err := Solve(p, nil)
+			if err != nil {
+				t.Fatalf("%s/seed%d: sparse: %v", sh.name, seed, err)
+			}
+			dense, err := Solve(p, &Options{Dense: true})
+			if err != nil {
+				t.Fatalf("%s/seed%d: dense: %v", sh.name, seed, err)
+			}
+			if sparse.Status != dense.Status {
+				t.Fatalf("%s/seed%d: status sparse=%v dense=%v", sh.name, seed, sparse.Status, dense.Status)
+			}
+			if sparse.Status != Optimal {
+				continue
+			}
+			if !approx(sparse.Objective, dense.Objective, 1e-5*(1+math.Abs(dense.Objective))) {
+				t.Fatalf("%s/seed%d: objective sparse=%v dense=%v", sh.name, seed, sparse.Objective, dense.Objective)
+			}
+			checkFeasible(t, p, sparse.X, 1e-5)
+		}
+	}
+}
+
+// TestWarmStartEqualsColdStart checks the canonical-basis guarantee the MILP
+// and allocator layers build on: re-solving the same problem seeded with the
+// previous optimal basis yields a byte-identical solution (bit-equal X,
+// objective and basis), not merely an equivalent one.
+func TestWarmStartEqualsColdStart(t *testing.T) {
+	opts := func(w *Basis) *Options { return &Options{Canonical: true, WarmBasis: w} }
+	for _, sh := range lpShapes {
+		for _, seed := range []uint64{3, 17, 404, 9001, 123457} {
+			p := buildSeededLP(seed, sh)
+			cold, err := Solve(p, opts(nil))
+			if err != nil || cold.Status != Optimal {
+				continue // unbounded/infeasible shapes carry no basis contract
+			}
+			if cold.Basis == nil {
+				t.Fatalf("%s/seed%d: optimal canonical solve returned nil basis", sh.name, seed)
+			}
+			warm, err := Solve(p, opts(cold.Basis))
+			if err != nil {
+				t.Fatalf("%s/seed%d: warm: %v", sh.name, seed, err)
+			}
+			if warm.Status != Optimal {
+				t.Fatalf("%s/seed%d: warm status %v", sh.name, seed, warm.Status)
+			}
+			if math.Float64bits(warm.Objective) != math.Float64bits(cold.Objective) {
+				t.Fatalf("%s/seed%d: objective warm=%v cold=%v", sh.name, seed, warm.Objective, cold.Objective)
+			}
+			for v := range warm.X {
+				if math.Float64bits(warm.X[v]) != math.Float64bits(cold.X[v]) {
+					t.Fatalf("%s/seed%d: X[%d] warm=%v cold=%v", sh.name, seed, v, warm.X[v], cold.X[v])
+				}
+			}
+		}
+	}
+}
+
+// TestPresolveReductions pins each presolve pass with a handcrafted instance
+// solved against the dense oracle: empty and redundant rows, bound-fixed
+// variables, singleton-column substitution, and block decomposition.
+func TestPresolveReductions(t *testing.T) {
+	t.Run("fixed_and_empty", func(t *testing.T) {
+		// y is fixed by its bounds; the first row becomes constant and must
+		// be dropped as satisfied, not reported infeasible.
+		p := NewProblem()
+		x := p.AddVariable("x", 0, 10)
+		y := p.AddVariable("y", 3, 3)
+		p.SetObjective(x, 1)
+		p.SetObjective(y, 1)
+		p.AddConstraint([]Term{{y, 2}}, LE, 7)
+		p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 8)
+		sol := solveOK(t, p)
+		if !approx(sol.X[x], 5, 1e-9) || !approx(sol.X[y], 3, 1e-9) {
+			t.Fatalf("got x=%v y=%v, want 5, 3", sol.X[x], sol.X[y])
+		}
+	})
+	t.Run("fixed_infeasible_row", func(t *testing.T) {
+		p := NewProblem()
+		y := p.AddVariable("y", 4, 4)
+		p.SetObjective(y, 1)
+		p.AddConstraint([]Term{{y, 1}}, LE, 3)
+		sol, err := Solve(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Infeasible {
+			t.Fatalf("status %v, want infeasible", sol.Status)
+		}
+	})
+	t.Run("singleton_substitution", func(t *testing.T) {
+		// s appears in exactly one equality row: presolve substitutes it out
+		// and postsolve must reconstruct its value from the row residual.
+		p := NewProblem()
+		x := p.AddVariable("x", 0, 4)
+		s := p.AddVariable("s", 0, math.Inf(1))
+		p.SetObjective(x, 2)
+		p.AddConstraint([]Term{{x, 1}, {s, 1}}, EQ, 6)
+		sol := solveOK(t, p)
+		if !approx(sol.X[x], 4, 1e-9) || !approx(sol.X[s], 2, 1e-9) {
+			t.Fatalf("got x=%v s=%v, want 4, 2", sol.X[x], sol.X[s])
+		}
+	})
+	t.Run("blocks_match_dense", func(t *testing.T) {
+		// Two independent blocks; presolve solves them as separate sub-LPs
+		// and the merged answer must match the dense whole-problem solve.
+		p := NewProblem()
+		a := p.AddVariable("a", 0, 5)
+		b := p.AddVariable("b", 0, 5)
+		c := p.AddVariable("c", 0, 5)
+		d := p.AddVariable("d", 0, 5)
+		for _, v := range []int{a, b, c, d} {
+			p.SetObjective(v, 1)
+		}
+		p.AddConstraint([]Term{{a, 1}, {b, 2}}, LE, 6)
+		p.AddConstraint([]Term{{c, 2}, {d, 1}}, LE, 6)
+		sparse := solveOK(t, p)
+		dense, err := Solve(p, &Options{Dense: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(sparse.Objective, dense.Objective, 1e-9) {
+			t.Fatalf("objective sparse=%v dense=%v", sparse.Objective, dense.Objective)
+		}
+		checkFeasible(t, p, sparse.X, 1e-9)
+	})
+}
+
+// TestBealeCyclingDense runs Beale's cycling LP through the dense tableau
+// explicitly, so the Bland's-rule fallback is covered in both solvers (the
+// default route covers the revised simplex in TestBealeCyclingExample).
+func TestBealeCyclingDense(t *testing.T) {
+	p := NewProblem()
+	x4 := p.AddVariable("x4", 0, math.Inf(1))
+	x5 := p.AddVariable("x5", 0, math.Inf(1))
+	x6 := p.AddVariable("x6", 0, math.Inf(1))
+	x7 := p.AddVariable("x7", 0, math.Inf(1))
+	p.SetObjective(x4, 0.75)
+	p.SetObjective(x5, -150)
+	p.SetObjective(x6, 0.02)
+	p.SetObjective(x7, -6)
+	p.AddConstraint([]Term{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, LE, 0)
+	p.AddConstraint([]Term{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, LE, 0)
+	p.AddConstraint([]Term{{x6, 1}}, LE, 1)
+	sol, err := Solve(p, &Options{Dense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 0.05, 1e-6) {
+		t.Fatalf("dense: status %v objective %v, want optimal 0.05", sol.Status, sol.Objective)
+	}
+}
+
+// TestDegenerateCube is the shared degeneracy corpus case: a hypercube with
+// every facet duplicated, so almost every pivot is degenerate. Both solvers
+// must terminate (anti-cycling) and agree.
+func TestDegenerateCube(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		const n = 6
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = p.AddVariable("v", 0, math.Inf(1))
+			p.SetObjective(vars[i], 1)
+		}
+		for i := range vars {
+			// Duplicate and scaled-duplicate facets at the same corner.
+			p.AddConstraint([]Term{{vars[i], 1}}, LE, 1)
+			p.AddConstraint([]Term{{vars[i], 2}}, LE, 2)
+			p.AddConstraint([]Term{{vars[i], 1}, {vars[(i+1)%n], 1}}, LE, 2)
+		}
+		return p
+	}
+	sparse := solveOK(t, build())
+	dense, err := Solve(build(), &Options{Dense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Status != Optimal {
+		t.Fatalf("dense status %v", dense.Status)
+	}
+	if !approx(sparse.Objective, 6, 1e-6) || !approx(dense.Objective, 6, 1e-6) {
+		t.Fatalf("objectives sparse=%v dense=%v, want 6", sparse.Objective, dense.Objective)
+	}
+}

@@ -1,0 +1,127 @@
+package milp
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/lp"
+	"proteus/internal/numeric"
+)
+
+// buildFleetInstance builds a fleet-scale allocation MILP: devices are
+// partitioned across families (routing decoupled the fleet), so the
+// constraint graph is one independent block per family — the shape the
+// component decomposition in decompose.go exists for. Each family block has
+// the same structure as buildAllocInstance: an integer replica count and a
+// continuous throughput variable per (device, variant) pair, linked by
+// per-pair rate rows, per-device capacity rows and per-variant demand caps.
+func buildFleetInstance(seed uint64, devices, families, variantsPerFamily int) *Problem {
+	rng := numeric.NewRNG(seed)
+	p := NewProblem()
+	perFam, extra := devices/families, devices%families
+	for f := 0; f < families; f++ {
+		nDev := perFam
+		if f < extra {
+			nDev++ // spread the remainder so no family block dominates
+		}
+		type pair struct{ n, w int }
+		pairs := make([]pair, 0, nDev*variantsPerFamily)
+		caps := make([]float64, nDev)
+		for d := 0; d < nDev; d++ {
+			caps[d] = float64(3 + rng.Intn(6))
+		}
+		for d := 0; d < nDev; d++ {
+			for v := 0; v < variantsPerFamily; v++ {
+				n := p.AddInteger("n", 0, caps[d])
+				w := p.AddVariable("w", 0, 200)
+				p.SetObjective(w, float64(40+rng.Intn(60)))
+				rate := float64(8 + rng.Intn(12))
+				p.AddConstraint([]lp.Term{{Var: w, Coef: 1}, {Var: n, Coef: -rate}}, lp.LE, 0)
+				pairs = append(pairs, pair{n, w})
+			}
+		}
+		for d := 0; d < nDev; d++ {
+			terms := make([]lp.Term, 0, variantsPerFamily)
+			for v := 0; v < variantsPerFamily; v++ {
+				terms = append(terms, lp.Term{Var: pairs[d*variantsPerFamily+v].n, Coef: 1})
+			}
+			p.AddConstraint(terms, lp.LE, caps[d])
+		}
+		for v := 0; v < variantsPerFamily; v += 2 {
+			terms := make([]lp.Term, 0, nDev)
+			for d := 0; d < nDev; d++ {
+				terms = append(terms, lp.Term{Var: pairs[d*variantsPerFamily+v].w, Coef: 1})
+			}
+			p.AddConstraint(terms, lp.LE, float64(10+rng.Intn(25)))
+		}
+	}
+	return p
+}
+
+// TestFleetDecomposes checks the fleet instance actually falls apart into
+// one component per family — otherwise the benchmark would silently measure
+// the monolithic path.
+func TestFleetDecomposes(t *testing.T) {
+	p := buildFleetInstance(42, 200, 30, 5)
+	comps := p.components()
+	if len(comps) != 30 {
+		t.Fatalf("components = %d, want 30", len(comps))
+	}
+	nv, nr := 0, 0
+	for _, c := range comps {
+		nv += len(c.vars)
+		nr += len(c.rows)
+	}
+	if nv != p.NumVariables() || nr != p.NumConstraints() {
+		t.Fatalf("components cover %d vars / %d rows, problem has %d / %d",
+			nv, nr, p.NumVariables(), p.NumConstraints())
+	}
+}
+
+// TestFleetByteIdentical solves the d200q30 fleet shape at several
+// parallelism levels, warm and cold, and demands bit-identical Solutions —
+// the acceptance bar for the decomposed path.
+func TestFleetByteIdentical(t *testing.T) {
+	p := buildFleetInstance(42, 200, 30, 5)
+	base := Solve(p, &Options{MaxNodes: 20_000, Parallelism: 1})
+	if base.Status != Optimal {
+		t.Fatalf("status %v, want optimal", base.Status)
+	}
+	if base.Basis == nil {
+		t.Fatalf("decomposed solve returned no merged basis")
+	}
+	for _, par := range []int{2, 4} {
+		sol := Solve(p, &Options{MaxNodes: 20_000, Parallelism: par})
+		if diff, ok := sameSolution(base, sol); !ok {
+			t.Fatalf("par %d differs from par 1: %s", par, diff)
+		}
+	}
+	warm := Solve(p, &Options{MaxNodes: 20_000, Parallelism: 1, WarmBasis: base.Basis})
+	if diff, ok := sameSolution(base, warm); !ok {
+		t.Fatalf("warm-started solve differs from cold: %s", diff)
+	}
+	warmPar := Solve(p, &Options{MaxNodes: 20_000, Parallelism: 4, WarmBasis: base.Basis})
+	if diff, ok := sameSolution(base, warmPar); !ok {
+		t.Fatalf("warm par-4 solve differs from cold par 1: %s", diff)
+	}
+}
+
+// TestFleetSolveUnderBudget is a smoke check that the decomposed fleet
+// solve lands well inside one control period. The CI benchmark tracks the
+// exact number; this test only guards against catastrophic regression (a
+// lost decomposition turns 100ms into minutes).
+func TestFleetSolveUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing smoke test")
+	}
+	p := buildFleetInstance(42, 200, 30, 5)
+	startN := time.Now()
+	sol := Solve(p, &Options{MaxNodes: 20_000, Parallelism: 1})
+	elapsed := time.Since(startN)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v, want optimal", sol.Status)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("fleet solve took %v, expected well under 2s", elapsed)
+	}
+}

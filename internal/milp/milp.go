@@ -115,6 +115,18 @@ type Solution struct {
 	Bound     float64   // best proven upper bound on the optimum
 	Nodes     int       // branch-and-bound nodes processed
 	Elapsed   time.Duration
+	// TimeLimited reports that the wall-clock TimeLimit fired during the
+	// search. Bound/Nodes (and the gap derived from them) then depend on
+	// how far the optimality proof got before the clock ran out, so
+	// deterministic serialization surfaces must drop them (see
+	// controlplane.SanitizePlanRecord). Node- and stall-limit truncation is
+	// deterministic and does not set this.
+	TimeLimited bool
+	// Basis is the canonicalized optimal basis of the root LP relaxation,
+	// usable to warm-start a future solve of a same-shaped problem (the
+	// allocator carries it across control periods). Nil when the root
+	// relaxation fell back to the dense simplex.
+	Basis *lp.Basis
 }
 
 // Gap returns the relative optimality gap of the incumbent, or +Inf if no
@@ -151,6 +163,11 @@ type Options struct {
 	// incumbent. It is trusted after a cheap feasibility spot check of
 	// integrality; callers construct it from a heuristic.
 	WarmStart []float64
+	// WarmBasis, if non-nil, seeds the root LP relaxation with a starting
+	// basis (typically Solution.Basis from a previous, same-shaped solve).
+	// The root relaxation is canonicalized, so a warm basis changes only
+	// solve time, never the returned Solution.
+	WarmBasis *lp.Basis
 	// Parallelism is the number of concurrent LP-relaxation solvers used by
 	// the search. The returned Solution (Status, Objective, X, Bound, Nodes)
 	// is byte-identical for every value ≥ 1: extra workers only solve
@@ -168,6 +185,7 @@ func (o *Options) withDefaults() Options {
 	if o != nil {
 		out.TimeLimit = o.TimeLimit
 		out.WarmStart = o.WarmStart
+		out.WarmBasis = o.WarmBasis
 		out.LP = o.LP
 		out.StallNodes = o.StallNodes
 		if o.MaxNodes > 0 {
@@ -197,11 +215,16 @@ func EffectiveParallelism(n int) int {
 }
 
 // node is one branch-and-bound subproblem: bound overrides relative to the
-// root, plus the parent's LP bound used as the search priority.
+// root, plus the parent's LP bound used as the search priority and the
+// parent's optimal relaxation basis used to warm-start this node's LP
+// (branching changes one bound, so the parent basis is usually one or two
+// phase-1 pivots from feasible). basis is immutable and shared — workers
+// and the driver only read it.
 type node struct {
 	bounds []boundChange
 	bound  float64
 	depth  int
+	basis  *lp.Basis
 }
 
 type boundChange struct {
@@ -228,7 +251,13 @@ func (h *nodeHeap) Pop() interface{} {
 // during the search but restored before returning.
 func Solve(p *Problem, opts *Options) Solution {
 	o := opts.withDefaults()
-	s := &solver{p: p, o: o, start: time.Now()} //lint:allow determinism wall-clock TimeLimit anchor; solves are deterministic unless a time limit fires
+	if comps := p.components(); len(comps) > 1 {
+		// The constraint graph is disconnected (routing decoupled the
+		// allocation): solve each component independently and merge. Each
+		// recursive sub-solve is connected, so this recurses at most once.
+		return solveDecomposed(p, o, comps)
+	}
+	s := &solver{p: p, o: o, start: wallNow()}
 	if o.TimeLimit > 0 {
 		s.deadline = s.start.Add(o.TimeLimit)
 	}
@@ -248,7 +277,7 @@ func Solve(p *Problem, opts *Options) Solution {
 
 	s.open = &nodeHeap{}
 	heap.Init(s.open)
-	heap.Push(s.open, &node{bound: math.Inf(1)})
+	heap.Push(s.open, &node{bound: math.Inf(1), basis: o.WarmBasis})
 	if o.Parallelism > 1 && p.NumIntegers() > 0 {
 		s.pool = newSpecPool(s, o.Parallelism)
 		defer s.pool.stop()
@@ -273,8 +302,16 @@ type solver struct {
 	// limited records that some subtree was abandoned because of a node,
 	// time or LP-iteration limit; exhausting the heap then proves nothing.
 	limited bool
+	// timeLimited records that the wall-clock deadline specifically fired.
+	timeLimited bool
+	// rootBasis is the canonicalized basis of the root relaxation.
+	rootBasis *lp.Basis
 	// lastImprove is the node count at the last incumbent improvement.
 	lastImprove int
+	// applied tracks the bound overrides currently written into the shared
+	// problem, so solveNode undoes only those instead of rewriting every
+	// variable's bounds per node.
+	applied []boundChange
 	// pool, when non-nil, solves LP relaxations speculatively on worker-
 	// private problem clones (Options.Parallelism > 1). The search order and
 	// every decision stay those of the serial solver; see parallel.go.
@@ -287,13 +324,32 @@ func (s *solver) restore() {
 	}
 }
 
-// solveNode solves the LP relaxation of nd inline on the shared problem.
+// lpOpts builds the LP options for one node's relaxation: the caller's LP
+// options plus the node's warm-start basis. The root relaxation is
+// canonicalized so that an externally supplied Options.WarmBasis can change
+// only solve time, never the search (every descendant then inherits
+// byte-identical bases either way).
+func (s *solver) lpOpts(nd *node) *lp.Options {
+	var o lp.Options
+	if s.o.LP != nil {
+		o = *s.o.LP
+	}
+	o.WarmBasis = nd.basis
+	o.Canonical = len(nd.bounds) == 0 && nd.depth == 0
+	return &o
+}
+
+// solveNode solves the LP relaxation of nd inline on the shared problem,
+// undoing the previous node's overrides rather than rewriting all bounds.
 func (s *solver) solveNode(nd *node) (lp.Solution, error) {
-	s.restore()
+	for _, bc := range s.applied {
+		s.p.lp.SetBounds(bc.v, s.rootLo[bc.v], s.rootHi[bc.v])
+	}
+	s.applied = append(s.applied[:0], nd.bounds...)
 	for _, bc := range nd.bounds {
 		s.p.lp.SetBounds(bc.v, bc.lo, bc.hi)
 	}
-	return lp.Solve(s.p.lp, s.o.LP)
+	return lp.Solve(s.p.lp, s.lpOpts(nd))
 }
 
 // relax returns nd's LP relaxation. With a worker pool it consumes a
@@ -346,7 +402,11 @@ func (s *solver) limitHit() bool {
 	if s.nodes >= s.o.MaxNodes {
 		return true
 	}
-	return !s.deadline.IsZero() && time.Now().After(s.deadline) //lint:allow determinism wall-clock TimeLimit enforcement, the caller's explicit latency/optimality trade
+	if !s.deadline.IsZero() && wallNow().After(s.deadline) {
+		s.timeLimited = true
+		return true
+	}
+	return false
 }
 
 func (s *solver) gapClosed(bound float64) bool {
@@ -367,10 +427,12 @@ func (s *solver) accept(x []float64) {
 
 func (s *solver) finish(st Status) Solution {
 	sol := Solution{
-		Status:  st,
-		Bound:   s.bestBound,
-		Nodes:   s.nodes,
-		Elapsed: time.Since(s.start), //lint:allow determinism reporting-only wall-clock measurement
+		Status:      st,
+		Bound:       s.bestBound,
+		Nodes:       s.nodes,
+		Elapsed:     sinceStart(s.start),
+		TimeLimited: s.timeLimited,
+		Basis:       s.rootBasis,
 	}
 	if s.incumbent != nil {
 		sol.Objective = s.incumbentObj
@@ -414,6 +476,9 @@ func (s *solver) run() Solution {
 		if err != nil {
 			return s.finish(Limit)
 		}
+		if len(nd.bounds) == 0 && nd.depth == 0 && rel.Status == lp.Optimal {
+			s.rootBasis = rel.Basis
+		}
 		switch rel.Status {
 		case lp.Infeasible:
 			// Empty subtree: the frontier shrinks to the heap + incumbent.
@@ -453,7 +518,7 @@ func (s *solver) run() Solution {
 			s.dive(nd, rel)
 			continue
 		}
-		down, up := s.branch(nd, v, rel.X[v], rel.Objective)
+		down, up := s.branch(nd, v, rel.X[v], rel.Objective, rel.Basis)
 		if down != nil {
 			heap.Push(s.open, down)
 		}
@@ -471,17 +536,18 @@ func (s *solver) run() Solution {
 }
 
 // branch builds the two children of nd on variable v whose relaxation value
-// is val. A child whose bound interval would be empty is nil.
-func (s *solver) branch(nd *node, v int, val, bound float64) (down, up *node) {
+// is val, warm-started from nd's relaxation basis. A child whose bound
+// interval would be empty is nil.
+func (s *solver) branch(nd *node, v int, val, bound float64, basis *lp.Basis) (down, up *node) {
 	lo, hi := s.nodeBounds(nd, v)
 	floor := math.Floor(val + s.o.IntTol)
 	if floor >= lo-s.o.IntTol {
 		f := math.Min(floor, hi)
-		down = &node{bounds: appendBound(nd.bounds, boundChange{v, lo, f}), bound: bound, depth: nd.depth + 1}
+		down = &node{bounds: appendBound(nd.bounds, boundChange{v, lo, f}), bound: bound, depth: nd.depth + 1, basis: basis}
 	}
 	if floor+1 <= hi+s.o.IntTol {
 		l := math.Max(floor+1, lo)
-		up = &node{bounds: appendBound(nd.bounds, boundChange{v, l, hi}), bound: bound, depth: nd.depth + 1}
+		up = &node{bounds: appendBound(nd.bounds, boundChange{v, l, hi}), bound: bound, depth: nd.depth + 1, basis: basis}
 	}
 	return down, up
 }
@@ -512,7 +578,7 @@ func (s *solver) dive(nd *node, rel lp.Solution) {
 			s.accept(curRel.X)
 			return
 		}
-		down, up := s.branch(cur, v, curRel.X[v], curRel.Objective)
+		down, up := s.branch(cur, v, curRel.X[v], curRel.Objective, curRel.Basis)
 		frac := curRel.X[v] - math.Floor(curRel.X[v]+s.o.IntTol)
 		first, second := down, up
 		if frac >= 0.5 {

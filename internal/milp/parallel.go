@@ -113,6 +113,7 @@ func (pl *specPool) stop() {
 }
 
 func (pl *specPool) worker(clone *lp.Problem) {
+	var applied []boundChange
 	for e := range pl.jobs {
 		if pl.stopping.Load() {
 			continue // drain: the solve's result could never be consumed
@@ -120,22 +121,26 @@ func (pl *specPool) worker(clone *lp.Problem) {
 		if !e.state.CompareAndSwap(specQueued, specClaimed) {
 			continue // the driver needed it first and solved inline
 		}
-		e.sol, e.err = pl.solveOn(clone, e.nd)
+		e.sol, e.err, applied = pl.solveOn(clone, e.nd, applied)
 		close(e.ready)
 	}
 }
 
-// solveOn solves nd's relaxation on a worker-private clone: reset to the
-// root bounds, replay the node's overrides in order (exactly the sequence
-// solveNode applies to the shared problem), solve.
-func (pl *specPool) solveOn(clone *lp.Problem, nd *node) (lp.Solution, error) {
-	for v := range pl.s.rootLo {
-		clone.SetBounds(v, pl.s.rootLo[v], pl.s.rootHi[v])
+// solveOn solves nd's relaxation on a worker-private clone: undo the
+// previous job's overrides, replay the node's overrides in order (exactly
+// the sequence solveNode applies to the shared problem), solve with the
+// node's own warm-start basis — the same options solveNode would use, so
+// the result is bit-identical to the inline solve it may replace.
+func (pl *specPool) solveOn(clone *lp.Problem, nd *node, applied []boundChange) (lp.Solution, error, []boundChange) {
+	for _, bc := range applied {
+		clone.SetBounds(bc.v, pl.s.rootLo[bc.v], pl.s.rootHi[bc.v])
 	}
+	applied = append(applied[:0], nd.bounds...)
 	for _, bc := range nd.bounds {
 		clone.SetBounds(bc.v, bc.lo, bc.hi)
 	}
-	return lp.Solve(clone, pl.s.o.LP)
+	sol, err := lp.Solve(clone, pl.s.lpOpts(nd))
+	return sol, err, applied
 }
 
 // solve returns nd's relaxation, consuming a speculative result when one
@@ -146,6 +151,14 @@ func (pl *specPool) solveOn(clone *lp.Problem, nd *node) (lp.Solution, error) {
 func (pl *specPool) solve(nd *node, hints []*node) (lp.Solution, error) {
 	key := nodeKey(nd)
 	e, cached := pl.cache[key]
+	if cached && e.nd != nd {
+		// Same bound box reached through a different branching path: the
+		// cached entry was solved with a different warm-start basis, so its
+		// result may not be bit-identical to the inline solve. Drop it and
+		// solve inline (the worker's eventual result is simply never read).
+		delete(pl.cache, key)
+		cached = false
+	}
 	if !cached {
 		e = newSpecEntry(key, nd)
 	}

@@ -145,13 +145,10 @@ func Build(in BuildInput) *Dump {
 		Summary: c.Summarize(-1),
 		Plans:   append([]controlplane.PlanRecord(nil), in.Plans...),
 	}
-	// Solve times are wall-clock measurements and the only nondeterministic
-	// fields of a plan record; zero them so same-seed dumps stay
-	// byte-identical.
-	for i := range d.Plans {
-		d.Plans[i].SolveTime = 0
-		d.Plans[i].Stats.SolverTime = 0
-	}
+	// Plan records carry wall-clock measurements and (under a solver
+	// budget) timing-dependent proof progress; sanitize the copy so
+	// same-seed dumps stay byte-identical.
+	controlplane.SanitizePlans(d.Plans)
 	for f, name := range c.Families() {
 		d.Families = append(d.Families, FamilySummary{Name: name, Summary: c.Summarize(f)})
 	}

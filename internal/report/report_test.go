@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
 	"regexp"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"proteus/internal/allocator"
 	"proteus/internal/cluster"
+	"proteus/internal/controlplane"
 	"proteus/internal/core"
 	"proteus/internal/models"
 	"proteus/internal/telemetry"
@@ -101,6 +103,51 @@ func TestEndToEndDumpAndHTMLByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(RenderHTML(rd), h1) {
 		t.Error("HTML from round-tripped dump differs from original")
+	}
+}
+
+// TestBudgetedDumpInsensitiveToSolverTiming is the regression test for the
+// solver-stats determinism leak: under a configured solver budget, how far
+// the optimality proof gets (nodes, bound, gap, whether the clock fired) is
+// a race against wall time, so two same-seed runs can legitimately differ in
+// those fields. The dump must serialize byte-identically regardless. We
+// simulate the worst-case divergence directly: perturb every timing-tainted
+// field of one run's plan records as if the clock had behaved differently,
+// and require the built dumps to still match byte for byte.
+func TestBudgetedDumpInsensitiveToSolverTiming(t *testing.T) {
+	d1, _, res := burnRun(t)
+
+	perturbed := append([]controlplane.PlanRecord(nil), res.Plans...)
+	for i := range perturbed {
+		if !perturbed[i].Stats.Budgeted {
+			t.Fatalf("plan %d: TimeLimit configured but Stats.Budgeted unset", i)
+		}
+		perturbed[i].SolveTime += time.Duration(i+1) * time.Millisecond
+		perturbed[i].Stats.SolverTime += time.Duration(i+1) * time.Millisecond
+		perturbed[i].Stats.Nodes += 1000 + i
+		perturbed[i].Stats.Bound += 0.125
+		perturbed[i].Stats.RelGap = 0.5
+		perturbed[i].Stats.TimeLimited = !perturbed[i].Stats.TimeLimited
+	}
+	d2 := Build(BuildInput{
+		Label:       d1.Meta.Label,
+		Seed:        d1.Meta.Seed,
+		Collector:   res.Collector,
+		Plans:       perturbed,
+		DeviceNames: d1.Meta.Devices,
+	})
+	// Compare only the audit section: the two Builds share the collector,
+	// so the rest is identical by construction; Plans is where the leak was.
+	j1, err := json.Marshal(d1.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(d2.Plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("budgeted plan records leaked timing-dependent fields:\n%s\nvs\n%s", j1, j2)
 	}
 }
 
